@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section, prints the corresponding rows/series, and asserts that the
+qualitative shape (who wins, roughly by how much, where crossovers fall)
+matches the paper.  Experiment sizes are scaled down from the paper's
+multi-gigabyte ORAMs; set ``REPRO_BENCH_SCALE`` (a float, default 1.0) to
+grow or shrink the workloads.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def bench_scale() -> float:
+    """Global multiplier applied to access counts / trace lengths."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an access count by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(value * bench_scale()))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure/table reproduction in a recognisable block."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(text)

@@ -1,0 +1,46 @@
+"""Figure 3: stash-occupancy tail probability for Z = 1..4, unbounded stash.
+
+Paper result (4 GB ORAM, 2 GB working set, 10N accesses): with a stash of
+up to 1000 blocks, Z <= 2 always fails, Z = 3 fails with ~1e-5 probability,
+and Z = 4 essentially never fails.  The reproduced, scaled-down experiment
+must preserve the ordering: smaller Z has a much heavier occupancy tail.
+"""
+
+from conftest import emit, scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.stash_occupancy import run_stash_occupancy_sweep
+
+WORKING_SET_BLOCKS = 2048
+Z_VALUES = [1, 2, 3, 4]
+THRESHOLDS = [1, 2, 5, 10, 20, 50, 100, 200]
+
+
+def _run_experiment():
+    return run_stash_occupancy_sweep(
+        Z_VALUES,
+        working_set_blocks=WORKING_SET_BLOCKS,
+        num_accesses=scaled(10 * WORKING_SET_BLOCKS),
+        seed=1,
+    )
+
+
+def test_figure3_stash_occupancy_tail(benchmark):
+    results = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        rows.append([threshold] + [f"{results[z].tail_probability(threshold):.2e}" for z in Z_VALUES])
+    emit(
+        "Figure 3 — P(blocks in stash >= m), infinite stash "
+        f"(working set {WORKING_SET_BLOCKS} blocks, 50% utilization)",
+        format_table(["m"] + [f"Z={z}" for z in Z_VALUES], rows),
+    )
+
+    # Shape checks: the tail gets lighter as Z grows; Z=1 diverges (its
+    # occupancy keeps climbing), Z=4 stays tiny.
+    tail_at_20 = {z: results[z].tail_probability(20) for z in Z_VALUES}
+    assert tail_at_20[1] > tail_at_20[2] >= tail_at_20[3] >= tail_at_20[4]
+    assert tail_at_20[1] > 0.5
+    assert tail_at_20[4] < 0.05
+    assert results[1].max_occupancy > results[4].max_occupancy

@@ -1,0 +1,53 @@
+"""Figure 7: dummy-access / real-access ratio versus stash size for Z = 1, 2, 3.
+
+Paper result (4 GB ORAM, 2 GB working set): for Z >= 2 the dummy ratio is
+low and nearly flat from a 100-block to an 800-block stash; Z = 1 needs
+many times more dummy accesses, which makes it a bad design point.  The
+paper fixes C = 200 for the rest of the evaluation.
+"""
+
+from conftest import emit, scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_stash_size
+
+WORKING_SET_BLOCKS = 1024
+Z_VALUES = [1, 2, 3]
+# The paper sweeps 100-800 blocks on a 25-level tree; the scaled-down tree
+# here has ~11 levels, so the stash sizes are scaled accordingly (the
+# eviction threshold C - Z(L+1) is what matters).
+STASH_SIZES = [40, 60, 100, 200]
+
+
+def _run_experiment():
+    return sweep_stash_size(
+        Z_VALUES,
+        STASH_SIZES,
+        working_set_blocks=WORKING_SET_BLOCKS,
+        num_accesses=scaled(2500, minimum=400),
+        seed=3,
+    )
+
+
+def test_figure7_dummy_ratio_vs_stash_size(benchmark):
+    points = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    by_key = {(p.z, p.stash_capacity): p for p in points}
+
+    rows = []
+    for stash in STASH_SIZES:
+        rows.append([stash] + [f"{by_key[(z, stash)].dummy_ratio:.3f}" for z in Z_VALUES])
+    emit(
+        "Figure 7 — dummy accesses per real access vs. stash size "
+        f"(working set {WORKING_SET_BLOCKS} blocks, 50% utilization)",
+        format_table(["stash size"] + [f"Z={z}" for z in Z_VALUES], rows),
+    )
+
+    # Z=1 needs far more dummy accesses than Z=2 and Z=3 at every stash size.
+    for stash in STASH_SIZES:
+        assert by_key[(1, stash)].dummy_ratio >= by_key[(2, stash)].dummy_ratio
+        assert by_key[(1, stash)].dummy_ratio >= by_key[(3, stash)].dummy_ratio
+    assert by_key[(1, STASH_SIZES[0])].dummy_ratio > 0.5
+    # Z>=2 keeps the ratio low, and growing the stash only helps slightly.
+    for z in (2, 3):
+        assert by_key[(z, STASH_SIZES[-1])].dummy_ratio <= by_key[(z, STASH_SIZES[0])].dummy_ratio + 0.05
+        assert by_key[(z, STASH_SIZES[1])].dummy_ratio < 1.0

@@ -1,0 +1,76 @@
+"""Figure 8: access overhead versus ORAM utilization for Z in {1,2,3,4,8}.
+
+Paper result (2 GB working set): the best point is Z = 3 at 50% utilization;
+overhead rises slightly at very low utilization (longer paths) and sharply
+at high utilization (dummy accesses); small-Z configurations blow up first —
+the paper could not even finish Z = 1 at >= 67% or Z = 2 at >= 75%
+utilization.  Z = 3 at 67% and Z = 4 at 75% remain reasonable, showing the
+1/Z utilization suggested by prior work was pessimistic.
+"""
+
+import math
+
+from conftest import emit, scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import measure_dummy_ratio, utilization_config
+
+CAPACITY_BLOCKS = 2048
+Z_VALUES = [1, 2, 3, 4, 8]
+UTILIZATIONS = [0.02, 0.05, 0.125, 0.25, 0.5, 0.67, 0.75, 0.8]
+
+
+def _run_experiment():
+    points = {}
+    for z in Z_VALUES:
+        for utilization in UTILIZATIONS:
+            # The stash is scaled with the (much shallower) tree so eviction
+            # pressure shows up within a short run; see EXPERIMENTS.md.
+            config = utilization_config(z, utilization, CAPACITY_BLOCKS, stash_slack=25)
+            points[(z, utilization)] = measure_dummy_ratio(
+                config, num_accesses=scaled(700, minimum=200), seed=5,
+                abort_dummy_factor=15.0,
+            )
+    return points
+
+
+def test_figure8_overhead_vs_utilization(benchmark):
+    points = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for utilization in UTILIZATIONS:
+        row = [f"{utilization:.0%}"]
+        for z in Z_VALUES:
+            point = points[(z, utilization)]
+            row.append("n/a" if math.isinf(point.access_overhead) else f"{point.access_overhead:.0f}")
+        rows.append(row)
+    emit(
+        "Figure 8 — access overhead vs. utilization "
+        f"(tree capacity ~{CAPACITY_BLOCKS} blocks; 'n/a' = too many dummies to finish)",
+        format_table(["utilization"] + [f"Z={z}" for z in Z_VALUES], rows),
+    )
+
+    def overhead(z, utilization):
+        return points[(z, utilization)].access_overhead
+
+    # Small Z degrades first as utilization grows: by 75-80% utilization,
+    # Z=1 and Z=2 are far worse than Z=3/Z=4 (or failed to finish at all).
+    assert overhead(1, 0.8) > 2 * overhead(3, 0.8)
+    assert overhead(2, 0.8) > overhead(4, 0.8)
+    assert overhead(1, 0.8) > overhead(1, 0.25) or math.isinf(overhead(1, 0.8))
+    # Z=3 around 50-67% utilization beats the very large Z=8 everywhere.
+    assert overhead(3, 0.5) < overhead(8, 0.5)
+    assert overhead(3, 0.67) < overhead(8, 0.67)
+    # Z=3 at 67% and Z=4 at 75% remain finite and reasonable.
+    assert math.isfinite(overhead(3, 0.67))
+    assert math.isfinite(overhead(4, 0.75))
+    # At moderate-to-high utilization (the regime the paper recommends) the
+    # best bucket size is a moderate Z, never Z=1 and never Z=8.  (The paper
+    # finds Z=3 at 50% for a 4 GB ORAM; smaller ORAMs shift the optimum
+    # towards smaller Z, per Figure 9, which is why Z=2 can win here.)
+    for utilization in (0.5, 0.67, 0.75):
+        best_z = min(Z_VALUES, key=lambda z: points[(z, utilization)].access_overhead)
+        assert best_z in (2, 3, 4)
+    # Z=8 is never the best choice at any utilization (its buckets are too big).
+    for utilization in UTILIZATIONS:
+        assert min(Z_VALUES, key=lambda z: points[(z, utilization)].access_overhead) != 8

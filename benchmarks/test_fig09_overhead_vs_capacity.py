@@ -1,0 +1,61 @@
+"""Figure 9: access overhead versus ORAM capacity at 50% utilization.
+
+Paper result (1 MB - 16 GB working sets): overhead grows linearly while
+capacity grows exponentially (good scalability); Z = 3 is best for large
+ORAMs, while smaller ORAMs favour smaller Z (Z = 2 wins between 1 MB and
+64 MB); Z = 1 is never competitive beyond tiny sizes because of dummy
+accesses.
+"""
+
+from conftest import emit, scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_capacity
+
+Z_VALUES = [1, 2, 3, 4]
+# Scaled-down stand-ins for the paper's 1 MB ... 16 GB sweep.
+WORKING_SETS = [1024, 4096, 16384]
+
+
+def _run_experiment():
+    return sweep_capacity(
+        Z_VALUES,
+        WORKING_SETS,
+        num_accesses_per_point=scaled(600, minimum=200),
+        utilization=0.5,
+        seed=11,
+        stash_slack=25,
+    )
+
+
+def test_figure9_overhead_vs_capacity(benchmark):
+    points = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    by_key = {(p.z, p.working_set_blocks): p for p in points}
+
+    rows = []
+    for working_set in WORKING_SETS:
+        rows.append(
+            [working_set]
+            + [f"{by_key[(z, working_set)].access_overhead:.0f}" for z in Z_VALUES]
+        )
+    emit(
+        "Figure 9 — access overhead vs. working set at 50% utilization",
+        format_table(["working set (blocks)"] + [f"Z={z}" for z in Z_VALUES], rows),
+    )
+
+    # Scalability: doubling the working set several times must grow overhead
+    # roughly linearly (levels), not exponentially.
+    for z in (3, 4):
+        small = by_key[(z, WORKING_SETS[0])].access_overhead
+        large = by_key[(z, WORKING_SETS[-1])].access_overhead
+        assert large < 4 * small
+        assert large > small
+    # For the largest ORAM, Z=3 (or Z=4) beats Z=1: dummy accesses dominate
+    # small-Z configurations as the tree gets deeper and fuller.
+    largest = WORKING_SETS[-1]
+    assert by_key[(3, largest)].access_overhead < by_key[(1, largest)].access_overhead
+    # For every size, the best Z is never 1 and never the largest bucket by a
+    # landslide — moderate Z wins, as in the paper.
+    for working_set in WORKING_SETS:
+        best_z = min(Z_VALUES, key=lambda z: by_key[(z, working_set)].access_overhead)
+        assert best_z in (2, 3, 4)

@@ -1,0 +1,74 @@
+"""Figure 11: hierarchical ORAM latency on DRAM — naive vs. subtree vs. theoretical.
+
+Paper result (DDR3, 1/2/4 channels, four best Figure-10 configurations):
+ORAM benefits from multiple channels; the naive heap-order layout falls
+~20% (2 channels) to ~60% (4 channels) behind the peak-bandwidth bound,
+while the subtree layout stays within ~6-13%; the 12-byte position-map
+block designs, despite lower theoretical overhead, end up slower than the
+32-byte designs once actually placed in DRAM.
+"""
+
+from conftest import emit, scaled
+
+from repro.analysis.dram_latency import figure11_rows
+from repro.analysis.report import format_table
+
+CHANNELS = (1, 2, 4)
+
+
+def _run_experiment():
+    return figure11_rows(
+        scale=1.0, channel_counts=CHANNELS,
+        num_accesses=scaled(12, minimum=4), seed=4,
+    )
+
+
+def test_figure11_oram_latency_on_dram(benchmark):
+    rows = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    table = [
+        [
+            row.name,
+            row.channels,
+            f"{row.naive_cycles:.0f}",
+            f"{row.subtree_cycles:.0f}",
+            f"{row.theoretical_cycles:.0f}",
+            f"{row.naive_overhead - 1:.0%}",
+            f"{row.subtree_overhead - 1:.0%}",
+        ]
+        for row in rows
+    ]
+    emit(
+        "Figure 11 — ORAM access latency in DRAM cycles (paper-scale geometry)",
+        format_table(
+            ["config", "channels", "naive", "subtree", "theoretical",
+             "naive vs theo", "subtree vs theo"],
+            table,
+        ),
+    )
+
+    by_key = {(row.name, row.channels): row for row in rows}
+
+    for row in rows:
+        # Nothing beats the peak-bandwidth bound.
+        assert row.subtree_cycles >= row.theoretical_cycles
+        assert row.naive_cycles >= row.theoretical_cycles
+    # Multiple channels help dramatically (near-linear scaling).
+    for name in ("DZ3Pb32", "DZ4Pb32"):
+        assert by_key[(name, 4)].subtree_cycles < by_key[(name, 1)].subtree_cycles / 2.5
+    # With 2+ channels the subtree layout beats the naive layout and stays
+    # much closer to theoretical, while naive drifts far from it
+    # (paper: naive 20-60% over, subtree 6-13% over; our simpler DRAM model
+    # lands a little higher but preserves the gap).
+    for name in ("DZ3Pb32", "DZ4Pb32", "DZ3Pb12", "DZ4Pb12"):
+        for channels in (2, 4):
+            row = by_key[(name, channels)]
+            assert row.subtree_cycles <= row.naive_cycles
+            assert row.subtree_overhead - 1 < 0.6
+            assert row.naive_overhead - row.subtree_overhead > 0.1
+        assert by_key[(name, 4)].naive_overhead - 1 > 0.40
+    # The 12-byte position-map design loses its theoretical advantage once
+    # implemented on DRAM: DZ3Pb32 is at least as fast as DZ3Pb12.
+    assert (
+        by_key[("DZ3Pb32", 4)].subtree_cycles
+        <= by_key[("DZ3Pb12", 4)].subtree_cycles * 1.05
+    )

@@ -1,0 +1,77 @@
+"""Figure 12: SPEC-like benchmark slowdown over an insecure DRAM processor.
+
+Paper result (SPEC06-int subset): the baseline ORAM configuration costs
+around an order of magnitude on memory-bound benchmarks (the worst bars are
+14.5x / 13.1x / 10.2x); DZ3Pb32 reduces average execution time by 43.9%
+relative to baseORAM; adding static super blocks of size two on top of
+DZ4Pb32 gives the best average result, 52.4% better than baseORAM and a
+further ~6% better than plain DZ3Pb32, with the gains concentrated in
+benchmarks with spatial locality (and small losses on some others).
+
+The reproduction replays synthetic SPEC-like traces (see
+``repro.workloads.spec_like``) and checks the ordering of configurations
+and the improvement band, not absolute slowdowns.
+"""
+
+import statistics
+
+from conftest import emit, scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.spec_eval import figure12_slowdowns
+
+BENCHMARKS = ["mcf", "libquantum", "bzip2", "omnetpp", "astar", "gcc", "sjeng", "hmmer"]
+CONFIG_NAMES = ["baseORAM", "DZ3Pb32", "DZ3Pb32+SB", "DZ4Pb32+SB"]
+
+
+def _run_experiment():
+    return figure12_slowdowns(
+        BENCHMARKS,
+        num_memory_ops=scaled(9000, minimum=2000),
+        functional_scale=1.0 / 2048,
+        seed=13,
+    )
+
+
+def test_figure12_spec_slowdown(benchmark):
+    results = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in BENCHMARKS:
+        rows.append([name] + [f"{results[name][config]:.2f}" for config in CONFIG_NAMES])
+    averages = {
+        config: statistics.mean(results[name][config] for name in BENCHMARKS)
+        for config in CONFIG_NAMES
+    }
+    rows.append(["average"] + [f"{averages[config]:.2f}" for config in CONFIG_NAMES])
+    emit(
+        "Figure 12 — slowdown over the insecure DRAM baseline",
+        format_table(["benchmark"] + CONFIG_NAMES, rows),
+    )
+
+    # Every ORAM configuration is slower than the insecure baseline.
+    for name in BENCHMARKS:
+        for config in CONFIG_NAMES:
+            assert results[name][config] > 1.0
+
+    # baseORAM costs roughly an order of magnitude on the memory-bound
+    # benchmarks (mcf / libquantum / omnetpp) and much less on the
+    # compute-bound ones (hmmer).
+    assert results["mcf"]["baseORAM"] > 8.0
+    assert results["hmmer"]["baseORAM"] < results["mcf"]["baseORAM"] / 2
+
+    # DZ3Pb32 improves substantially on the baseline (paper: 43.9% average).
+    improvement_dz3 = 1 - averages["DZ3Pb32"] / averages["baseORAM"]
+    assert 0.25 < improvement_dz3 < 0.60
+
+    # The best super-block configuration improves on the baseline by at
+    # least as much (paper: 52.4%) and is competitive with plain DZ3Pb32.
+    best_sb = min(averages["DZ3Pb32+SB"], averages["DZ4Pb32+SB"])
+    improvement_sb = 1 - best_sb / averages["baseORAM"]
+    assert improvement_sb >= improvement_dz3 - 0.05
+    assert improvement_sb > 0.30
+
+    # Super blocks help most where there is spatial locality (libquantum,
+    # bzip2), as the paper observes.
+    assert results["libquantum"]["DZ3Pb32+SB"] < results["libquantum"]["DZ3Pb32"]
+    assert results["bzip2"]["DZ3Pb32+SB"] < results["bzip2"]["DZ3Pb32"]

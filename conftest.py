@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository root.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. fully offline environments where ``pip install -e .`` cannot build an
+editable wheel because the ``wheel`` package is unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

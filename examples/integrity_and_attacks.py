@@ -1,0 +1,75 @@
+"""Integrity verification and the common-path-length attack.
+
+Two security-focused demonstrations:
+
+1. The authentication tree of Section 5 detects tampering and replay of
+   external memory (and costs only ~L hashes per access, versus the
+   strawman Merkle tree's Z(L+1)^2).
+2. The CPL attack of Section 3.1.3 distinguishes an insecure eviction
+   scheme from the paper's background eviction by looking only at the
+   adversary-visible sequence of accessed paths.
+
+Run with:  python examples/integrity_and_attacks.py
+"""
+
+import random
+
+from repro.attacks.cpl import expected_common_path_length, run_cpl_experiment
+from repro.core.config import ORAMConfig
+from repro.core.path_oram import PathORAM
+from repro.crypto.bucket_encryption import CounterBucketCipher
+from repro.crypto.keys import ProcessorKey
+from repro.errors import IntegrityError
+from repro.integrity.merkle import MerkleTree
+from repro.integrity.storage import IntegrityVerifiedStorage
+
+
+def demo_integrity() -> None:
+    print("--- Integrity verification (Section 5) ---")
+    config = ORAMConfig(working_set_blocks=128, z=2, block_bytes=32, stash_capacity=80)
+    storage = IntegrityVerifiedStorage(config, CounterBucketCipher(ProcessorKey(seed=7)))
+    oram = PathORAM(config, storage=storage, rng=random.Random(1))
+
+    for address in range(1, 65):
+        oram.write(address, f"value-{address}".encode())
+    print("Wrote 64 blocks through the integrity-verified ORAM.")
+
+    # A physical attacker rewrites one bucket of external memory.
+    storage.tamper_with_bucket(0, b"malicious ciphertext written by the adversary")
+    try:
+        for address in range(1, 65):
+            oram.read(address)
+        print("ERROR: tampering went undetected!")
+    except IntegrityError as error:
+        print(f"Tampering detected as expected: {error}")
+
+    merkle = MerkleTree(config.total_blocks)
+    print(
+        "Hash cost per ORAM access — strawman Merkle tree: "
+        f"{merkle.hashes_per_oram_access(config.z, config.levels)} hashes, "
+        f"paper's authentication tree: <= {config.levels} sibling hashes"
+    )
+    print()
+
+
+def demo_cpl_attack() -> None:
+    print("--- Common-path-length attack (Section 3.1.3, Figure 4) ---")
+    expected = expected_common_path_length(5)
+    for scheme in ("background", "insecure"):
+        result = run_cpl_experiment(scheme, num_accesses=2000, rng=random.Random(3))
+        print(
+            f"{scheme:11s}: CPL between a real access and the eviction it triggers = "
+            f"{result.trigger_pair_cpl:.3f}  (uniform expectation {expected:.3f})"
+        )
+    print("The insecure block-remapping eviction is visibly correlated with the")
+    print("preceding access; the paper's background eviction is indistinguishable")
+    print("from uniformly random paths.")
+
+
+def main() -> None:
+    demo_integrity()
+    demo_cpl_attack()
+
+
+if __name__ == "__main__":
+    main()

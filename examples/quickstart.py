@@ -1,0 +1,83 @@
+"""Quickstart: a hierarchical Path ORAM with encryption and integrity.
+
+Builds a small secure-processor-style memory stack — counter-based bucket
+encryption, the mirrored authentication tree, a recursive position map and
+background eviction — stores some data through the oblivious interface, and
+shows what an adversary watching external memory would observe.
+
+Run with:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.crypto.bucket_encryption import CounterBucketCipher
+from repro.crypto.keys import ProcessorKey
+from repro.integrity.storage import IntegrityVerifiedStorage
+
+
+def main() -> None:
+    # 1. Configure the data ORAM: 4096 blocks of 128 bytes at 50% utilization.
+    data_oram = ORAMConfig(
+        working_set_blocks=4096,
+        utilization=0.5,
+        z=3,
+        block_bytes=128,
+        stash_capacity=200,
+        name="quickstart-data",
+    )
+    hierarchy = HierarchyConfig(
+        data_oram=data_oram,
+        position_map_block_bytes=32,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=512,
+        name="quickstart",
+    )
+    print(hierarchy.describe())
+    print()
+
+    # 2. Build the ORAM with encrypted, integrity-verified external storage.
+    processor_key = ProcessorKey(seed=2024)
+
+    def storage_factory(config):
+        return IntegrityVerifiedStorage(config, CounterBucketCipher(processor_key))
+
+    oram = HierarchicalPathORAM(
+        hierarchy,
+        rng=random.Random(1),
+        storage_factory=storage_factory,
+        record_path_trace=True,
+    )
+
+    # 3. Use it like ordinary memory.
+    print("Writing 64 blocks ...")
+    for address in range(1, 65):
+        oram.write(address, f"payload-{address}".encode())
+    print("Reading them back ...")
+    for address in range(1, 65):
+        value = oram.read(address).data
+        assert value == f"payload-{address}".encode()
+    print("All reads returned the data that was written.")
+    print()
+
+    # 4. What did the adversary see?  Only uniformly random paths and
+    #    fresh-looking ciphertext.
+    data_trace = oram.data_oram.path_trace
+    print(f"Adversary-visible data-ORAM path trace: {len(data_trace)} path accesses")
+    print(f"  first ten accessed leaves: {data_trace[:10]}")
+    distinct = len(set(data_trace))
+    print(f"  distinct leaves touched: {distinct} of {data_oram.num_leaves}")
+    print(f"Background-eviction dummy rounds issued: {oram.total_dummy_rounds()}")
+    auth = oram.data_oram.storage.authenticator
+    print(f"Integrity checks performed on the data ORAM: {auth.counters.verifications}")
+    print()
+    print("Root ciphertext changes on every access (randomized encryption):")
+    before = oram.data_oram.storage.inner.raw_bucket(0)
+    oram.read(1)
+    after = oram.data_oram.storage.inner.raw_bucket(0)
+    print(f"  root bucket ciphertext changed: {before != after}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Secure-processor simulation: how much does Path ORAM cost at run time?
+
+Replays a few SPEC-like memory traces through the Table 1 processor model
+with (a) plain DRAM, (b) the baseline ORAM configuration and (c) the
+paper's optimised DZ3Pb32 configuration with super blocks, and prints the
+slowdowns — a miniature Figure 12.
+
+Run with:  python examples/secure_processor_simulation.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.spec_eval import (
+    figure12_configurations,
+    run_dram_baseline,
+    run_oram_configuration,
+)
+
+BENCHMARKS = ["mcf", "libquantum", "hmmer"]
+MEMORY_OPS = 4000
+
+
+def main() -> None:
+    configurations = [
+        config for config in figure12_configurations(functional_scale=1 / 4096)
+        if config.name in ("baseORAM", "DZ3Pb32", "DZ4Pb32+SB")
+    ]
+
+    print("ORAM access latencies used (from the DRAM timing model, CPU cycles):")
+    for config in configurations:
+        print(f"  {config.name:11s} return data {config.latency.return_data_cycles:6.0f}   "
+              f"finish access {config.latency.finish_access_cycles:6.0f}")
+    print()
+
+    rows = []
+    for benchmark in BENCHMARKS:
+        baseline = run_dram_baseline(benchmark, MEMORY_OPS, seed=1)
+        row = [benchmark, f"{baseline.total_cycles:.0f}"]
+        for config in configurations:
+            result = run_oram_configuration(benchmark, config, MEMORY_OPS, seed=1)
+            row.append(f"{result.slowdown_over(baseline):.2f}x")
+        rows.append(row)
+
+    print(format_table(
+        ["benchmark", "DRAM cycles"] + [c.name for c in configurations],
+        rows,
+        title="Slowdown over an insecure DRAM-based processor",
+    ))
+    print()
+    print("Memory-bound benchmarks (mcf, libquantum) pay the most; the optimised")
+    print("configuration recovers a large fraction of the baseline ORAM's cost,")
+    print("and super blocks help most where misses have spatial locality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` keeps working in fully offline environments that lack
+the ``wheel`` package (legacy ``setup.py develop`` editable installs do not
+need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of Path ORAM design space exploration (Ren et al., ISCA 2013).
+
+The package is organised into subpackages, one per subsystem:
+
+``repro.core``
+    Path ORAM itself: configuration, the tree, the stash, the position map,
+    background eviction, super blocks and the hierarchical (recursive)
+    construction, plus analytic overhead and storage models.
+
+``repro.crypto``
+    The randomized-encryption substrate: a pure-Python AES-128, PRF
+    keystreams, and the strawman / counter-based bucket encryption schemes.
+
+``repro.integrity``
+    Integrity verification: the strawman Merkle tree and the ORAM-mirrored
+    authentication tree with child-valid flags.
+
+``repro.dram``
+    A DDR3-like DRAM timing model and the naive / subtree placements of the
+    ORAM tree onto it.
+
+``repro.processor``
+    A trace-driven in-order processor model with exclusive L1/L2 caches and
+    pluggable memory back-ends (plain DRAM or Path ORAM).
+
+``repro.workloads``
+    Synthetic and SPEC-like memory-trace generators.
+
+``repro.attacks``
+    The common-path-length (CPL) attack used to demonstrate that naive
+    eviction schemes leak.
+
+``repro.analysis``
+    Design-space sweep drivers and result formatting used by the benchmark
+    harness.
+"""
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.path_oram import PathORAM
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ORAMConfig",
+    "HierarchyConfig",
+    "PathORAM",
+    "HierarchicalPathORAM",
+    "ORAMMemoryInterface",
+    "__version__",
+]

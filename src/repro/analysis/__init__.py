@@ -1,0 +1,22 @@
+"""Design-space-exploration drivers and result formatting.
+
+Each module corresponds to one part of the paper's evaluation:
+
+* :mod:`repro.analysis.stash_occupancy` — Figure 3 (stash-occupancy tails).
+* :mod:`repro.analysis.sweep` — Figures 7, 8 and 9 (dummy-access ratio and
+  access overhead across stash size, utilization and capacity).
+* :mod:`repro.analysis.hierarchy` — Figure 10 (hierarchical overhead
+  breakdown per position-map block size).
+* :mod:`repro.analysis.dram_latency` — Figure 11 (ORAM latency on DRAM).
+* :mod:`repro.analysis.spec_eval` — Table 2 and Figure 12 (latency /
+  storage of concrete configurations and SPEC-like slowdowns).
+* :mod:`repro.analysis.report` — plain-text table rendering shared by the
+  benchmark harness and the examples.
+"""
+
+from repro.analysis.report import format_markdown_table, format_table
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+]

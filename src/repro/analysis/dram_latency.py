@@ -1,0 +1,85 @@
+"""ORAM-on-DRAM latency study (Figure 11, Section 4.2).
+
+For each hierarchical configuration and channel count, measures the latency
+of a full ORAM access under the naive and subtree memory placements and
+compares both against the theoretical peak-bandwidth latency.  The tree
+*geometry* is evaluated at the paper's full scale (8 GB-class data ORAM) —
+only addresses are simulated, so no tree contents need to exist.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import HierarchyConfig
+from repro.core.presets import dz3pb12, dz3pb32, dz4pb12, dz4pb32
+from repro.dram.config import DRAMConfig
+from repro.dram.oram_dram import (
+    ORAMDRAMSimulator,
+    naive_placement_factory,
+    subtree_placement_factory,
+)
+
+
+@dataclass(frozen=True)
+class DRAMLatencyRow:
+    """One group of bars in Figure 11."""
+
+    name: str
+    channels: int
+    naive_cycles: float
+    subtree_cycles: float
+    theoretical_cycles: float
+
+    @property
+    def naive_overhead(self) -> float:
+        """Naive latency relative to theoretical (1.0 = ideal)."""
+        return self.naive_cycles / self.theoretical_cycles
+
+    @property
+    def subtree_overhead(self) -> float:
+        """Subtree latency relative to theoretical (1.0 = ideal)."""
+        return self.subtree_cycles / self.theoretical_cycles
+
+
+def figure11_configs(scale: float = 1.0) -> dict[str, HierarchyConfig]:
+    """The four best Figure 10 configurations, evaluated in Figure 11."""
+    return {
+        "DZ3Pb12": dz3pb12(scale),
+        "DZ3Pb32": dz3pb32(scale),
+        "DZ4Pb12": dz4pb12(scale),
+        "DZ4Pb32": dz4pb32(scale),
+    }
+
+
+def measure_latency(hierarchy: HierarchyConfig, channels: int, num_accesses: int = 20,
+                    seed: int = 0, name: str = "") -> DRAMLatencyRow:
+    """Measure naive / subtree / theoretical latency for one configuration."""
+    dram = DRAMConfig(channels=channels)
+    naive = ORAMDRAMSimulator(
+        hierarchy, dram, naive_placement_factory, rng=random.Random(seed)
+    ).measure(num_accesses)
+    subtree = ORAMDRAMSimulator(
+        hierarchy, dram, subtree_placement_factory, rng=random.Random(seed)
+    ).measure(num_accesses)
+    return DRAMLatencyRow(
+        name=name or hierarchy.name,
+        channels=channels,
+        naive_cycles=naive.finish_access_cycles,
+        subtree_cycles=subtree.finish_access_cycles,
+        theoretical_cycles=subtree.theoretical_cycles,
+    )
+
+
+def figure11_rows(scale: float = 1.0, channel_counts: tuple[int, ...] = (1, 2, 4),
+                  num_accesses: int = 20, seed: int = 0) -> list[DRAMLatencyRow]:
+    """All Figure 11 bars: every configuration at every channel count."""
+    rows = []
+    for name, hierarchy in figure11_configs(scale).items():
+        for channels in channel_counts:
+            rows.append(
+                measure_latency(hierarchy, channels, num_accesses=num_accesses,
+                                seed=seed, name=name)
+            )
+    return rows

@@ -1,0 +1,88 @@
+"""Hierarchical ORAM overhead breakdown (Figure 10, Section 4.1.5).
+
+Figure 10 compares hierarchical configurations that differ in the data
+ORAM's Z and the position-map ORAMs' block size, showing the per-ORAM
+contribution to the total access overhead (Equation 2).  The breakdown is
+analytic (it follows directly from each ORAM's geometry); an optional
+measured dummy-access factor can be folded in from a functional simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import HierarchyConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.overhead import (
+    hierarchy_overhead_breakdown,
+    hierarchy_theoretical_access_overhead,
+)
+from repro.core.presets import base_oram, make_hierarchy
+
+
+@dataclass(frozen=True)
+class HierarchyOverheadRow:
+    """One bar of Figure 10."""
+
+    name: str
+    num_orams: int
+    per_oram_overhead: tuple[float, ...]
+    total_overhead: float
+    dummy_factor: float = 1.0
+
+    @property
+    def total_with_dummies(self) -> float:
+        return self.total_overhead * self.dummy_factor
+
+
+def figure10_configs(scale: float = 1.0,
+                     position_map_block_sizes: tuple[int, ...] = (8, 12, 16, 32, 64, 128),
+                     data_z_values: tuple[int, ...] = (3, 4)) -> dict[str, HierarchyConfig]:
+    """The configurations evaluated in Figure 10, including the baseline."""
+    configs: dict[str, HierarchyConfig] = {"baseORAM": base_oram(scale)}
+    for data_z in data_z_values:
+        for block_bytes in position_map_block_sizes:
+            name = f"DZ{data_z}Pb{block_bytes}"
+            configs[name] = make_hierarchy(
+                scale=scale, data_z=data_z, position_map_block_bytes=block_bytes, name=name
+            )
+    return configs
+
+
+def analytic_breakdown(name: str, hierarchy: HierarchyConfig,
+                       dummy_factor: float = 1.0) -> HierarchyOverheadRow:
+    """Per-ORAM overhead contributions for one configuration."""
+    breakdown = tuple(hierarchy_overhead_breakdown(hierarchy))
+    return HierarchyOverheadRow(
+        name=name,
+        num_orams=hierarchy.num_orams,
+        per_oram_overhead=breakdown,
+        total_overhead=hierarchy_theoretical_access_overhead(hierarchy),
+        dummy_factor=dummy_factor,
+    )
+
+
+def measure_dummy_factor(hierarchy: HierarchyConfig, num_accesses: int, seed: int = 0) -> float:
+    """Measure ``(RA + DA) / RA`` for a hierarchy with random accesses."""
+    rng = random.Random(seed)
+    oram = HierarchicalPathORAM(hierarchy, rng=rng)
+    working_set = hierarchy.data_oram.working_set_blocks
+    for _ in range(num_accesses):
+        oram.access(rng.randrange(1, working_set + 1))
+    stats = oram.stats
+    if stats.real_accesses == 0:
+        return 1.0
+    return (stats.real_accesses + stats.dummy_accesses) / stats.real_accesses
+
+
+def figure10_rows(scale: float = 1.0, measure_dummies: bool = False,
+                  num_accesses: int = 2000, seed: int = 0) -> list[HierarchyOverheadRow]:
+    """Build every Figure 10 bar, optionally with measured dummy factors."""
+    rows = []
+    for name, hierarchy in figure10_configs(scale).items():
+        dummy_factor = 1.0
+        if measure_dummies:
+            dummy_factor = measure_dummy_factor(hierarchy, num_accesses, seed=seed)
+        rows.append(analytic_breakdown(name, hierarchy, dummy_factor=dummy_factor))
+    return rows

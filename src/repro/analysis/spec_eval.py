@@ -1,0 +1,190 @@
+"""Table 2 and Figure 12: concrete configurations on a secure processor.
+
+Table 2 reports, for the baseline and optimised ORAM configurations, the
+CPU-cycle latency to return data and to finish an access, plus the on-chip
+stash and position-map storage.  Figure 12 replays SPEC-like traces through
+the processor model with each configuration and reports execution time
+normalised to an insecure DRAM-based processor.
+
+Latencies are computed from the DRAM timing model at the paper's full-scale
+geometry (8 GB-class ORAMs); the functional ORAM that tracks block movement,
+dummy accesses and super-block prefetches runs at a scaled-down capacity
+large enough to contain each benchmark's working set.  EXPERIMENTS.md
+records both scales.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import HierarchyConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.overhead import onchip_storage
+from repro.core.presets import base_oram, dz3pb32, dz4pb32
+from repro.dram.config import DRAMConfig
+from repro.dram.oram_dram import ORAMDRAMSimulator, subtree_placement_factory
+from repro.processor.config import ProcessorConfig, table1_processor
+from repro.processor.memory import DRAMBackend, ORAMBackend
+from repro.processor.simulator import ProcessorSimulator, SimulationResult
+from repro.workloads.spec_like import SPEC_PROFILES, generate_benchmark_trace
+
+#: Decryption latency per ORAM in the hierarchy, in CPU cycles (the paper's
+#: latency model is ``4 x DRAM cycles + H x decryption``; AES pipeline
+#: latency of a few tens of cycles).
+DEFAULT_DECRYPTION_LATENCY_CYCLES = 80
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One column of Table 2."""
+
+    name: str
+    num_orams: int
+    return_data_cycles: float
+    finish_access_cycles: float
+    stash_kilobytes: float
+    position_map_kilobytes: float
+
+
+@dataclass(frozen=True)
+class Figure12Config:
+    """One ORAM configuration evaluated in Figure 12."""
+
+    name: str
+    hierarchy: HierarchyConfig
+    super_block_size: int
+    latency: Table2Row
+
+
+def table2_row(name: str, hierarchy: HierarchyConfig, channels: int = 4,
+               num_accesses: int = 10, seed: int = 0,
+               decryption_latency: int = DEFAULT_DECRYPTION_LATENCY_CYCLES,
+               cpu_per_dram_cycle: int = 4) -> Table2Row:
+    """Compute one Table 2 column from the DRAM model and storage formulas."""
+    simulator = ORAMDRAMSimulator(
+        hierarchy, DRAMConfig(channels=channels), subtree_placement_factory,
+        rng=random.Random(seed),
+    )
+    latency = simulator.measure(num_accesses)
+    return_cpu, finish_cpu = latency.cpu_cycles(
+        hierarchy.num_orams, cpu_per_dram_cycle=cpu_per_dram_cycle,
+        decryption_latency_cycles=decryption_latency,
+    )
+    storage = onchip_storage(hierarchy)
+    return Table2Row(
+        name=name,
+        num_orams=hierarchy.num_orams,
+        return_data_cycles=return_cpu,
+        finish_access_cycles=finish_cpu,
+        stash_kilobytes=storage.stash_kilobytes,
+        position_map_kilobytes=storage.position_map_kilobytes,
+    )
+
+
+def table2_rows(channels: int = 4, num_accesses: int = 10, seed: int = 0) -> list[Table2Row]:
+    """The three Table 2 configurations at the paper's full scale."""
+    configurations = {
+        "baseORAM": base_oram(1.0),
+        "DZ3Pb32": dz3pb32(1.0),
+        "DZ4Pb32": dz4pb32(1.0),
+    }
+    return [
+        table2_row(name, hierarchy, channels=channels, num_accesses=num_accesses, seed=seed)
+        for name, hierarchy in configurations.items()
+    ]
+
+
+def figure12_configurations(functional_scale: float = 1.0 / 1024, channels: int = 4,
+                            seed: int = 0) -> list[Figure12Config]:
+    """The four ORAM configurations of Figure 12.
+
+    ``functional_scale`` sizes the functional ORAM used for block movement;
+    latencies always come from the full-scale geometry.
+    """
+    entries = [
+        ("baseORAM", base_oram, 1),
+        ("DZ3Pb32", dz3pb32, 1),
+        ("DZ3Pb32+SB", dz3pb32, 2),
+        ("DZ4Pb32+SB", dz4pb32, 2),
+    ]
+    configs = []
+    for name, factory, super_block in entries:
+        latency = table2_row(name.split("+")[0], factory(1.0), channels=channels, seed=seed)
+        hierarchy = factory(functional_scale, super_block_size=super_block)
+        configs.append(
+            Figure12Config(
+                name=name, hierarchy=hierarchy, super_block_size=super_block, latency=latency
+            )
+        )
+    return configs
+
+
+#: Warm-up memory operations per measured memory operation.  The warm-up
+#: phase only touches the cache hierarchy (the memory back-end is skipped),
+#: standing in for the paper's 1-billion-instruction fast-forward.
+DEFAULT_WARMUP_RATIO = 3.0
+
+
+def _warmup_count(num_memory_ops: int, warmup_operations: int | None) -> int:
+    if warmup_operations is not None:
+        return warmup_operations
+    return int(num_memory_ops * DEFAULT_WARMUP_RATIO)
+
+
+def run_dram_baseline(benchmark: str, num_memory_ops: int, seed: int = 0,
+                      processor: ProcessorConfig | None = None,
+                      channels: int = 4,
+                      warmup_operations: int | None = None) -> SimulationResult:
+    """Replay one benchmark on the insecure DRAM-backed processor."""
+    profile = SPEC_PROFILES[benchmark]
+    warmup = _warmup_count(num_memory_ops, warmup_operations)
+    trace = generate_benchmark_trace(profile, num_memory_ops + warmup, random.Random(seed))
+    config = processor if processor is not None else table1_processor()
+    backend = DRAMBackend(DRAMConfig(channels=channels), line_bytes=config.line_bytes)
+    return ProcessorSimulator(config, backend).run(trace, warmup_operations=warmup)
+
+
+def run_oram_configuration(benchmark: str, configuration: Figure12Config,
+                           num_memory_ops: int, seed: int = 0,
+                           processor: ProcessorConfig | None = None,
+                           warmup_operations: int | None = None) -> SimulationResult:
+    """Replay one benchmark on the secure processor with one ORAM config."""
+    profile = SPEC_PROFILES[benchmark]
+    warmup = _warmup_count(num_memory_ops, warmup_operations)
+    trace = generate_benchmark_trace(profile, num_memory_ops + warmup, random.Random(seed))
+    config = processor if processor is not None else table1_processor()
+    oram = HierarchicalPathORAM(configuration.hierarchy, rng=random.Random(seed + 1))
+    interface = ORAMMemoryInterface(oram)
+    backend = ORAMBackend(
+        interface,
+        return_data_cycles=configuration.latency.return_data_cycles,
+        finish_access_cycles=configuration.latency.finish_access_cycles,
+        line_bytes=config.line_bytes,
+    )
+    return ProcessorSimulator(config, backend).run(trace, warmup_operations=warmup)
+
+
+def figure12_slowdowns(benchmarks: list[str], num_memory_ops: int = 20_000,
+                       functional_scale: float = 1.0 / 1024, seed: int = 0,
+                       configurations: list[Figure12Config] | None = None,
+                       warmup_operations: int | None = None
+                       ) -> dict[str, dict[str, float]]:
+    """Slowdown of every ORAM configuration over DRAM, per benchmark."""
+    if configurations is None:
+        configurations = figure12_configurations(functional_scale=functional_scale, seed=seed)
+    results: dict[str, dict[str, float]] = {}
+    for benchmark in benchmarks:
+        baseline = run_dram_baseline(
+            benchmark, num_memory_ops, seed=seed, warmup_operations=warmup_operations
+        )
+        per_config: dict[str, float] = {}
+        for configuration in configurations:
+            result = run_oram_configuration(
+                benchmark, configuration, num_memory_ops, seed=seed,
+                warmup_operations=warmup_operations,
+            )
+            per_config[configuration.name] = result.slowdown_over(baseline)
+        results[benchmark] = per_config
+    return results

@@ -1,0 +1,230 @@
+"""Design-space sweeps over stash size, utilization and capacity.
+
+These drivers implement the experiments behind Figures 7, 8 and 9: random
+accesses against a single (non-hierarchical) Path ORAM with background
+eviction enabled, measuring the dummy-access ratio and the resulting access
+overhead (Equation 1).  Configurations that the paper could not finish
+(small Z at very high utilization) are detected by an abort threshold and
+reported as unbounded rather than looping forever.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.background_eviction import BackgroundEviction
+from repro.core.config import ORAMConfig
+from repro.core.overhead import measured_access_overhead, theoretical_access_overhead
+from repro.core.path_oram import PathORAM
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured configuration in a design-space sweep."""
+
+    z: int
+    utilization: float
+    working_set_blocks: int
+    stash_capacity: int
+    levels: int
+    dummy_ratio: float
+    access_overhead: float
+    theoretical_overhead: float
+    aborted: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"Z={self.z} util={self.utilization:.0%} C={self.stash_capacity}"
+
+
+def measure_dummy_ratio(
+    config: ORAMConfig,
+    num_accesses: int,
+    seed: int = 0,
+    abort_dummy_factor: float = 30.0,
+    prefill: bool = True,
+) -> SweepPoint:
+    """Run random accesses and measure the dummy/real ratio (Equation 1).
+
+    When ``prefill`` is set (the default), every working-set address is
+    accessed once first so the ORAM holds its nominal utilization before
+    measurement begins — the paper's experiments likewise measure a full
+    ORAM (they run ``10 N`` accesses).  The run aborts (and the point is
+    flagged) once the number of dummy accesses exceeds
+    ``abort_dummy_factor`` times the real accesses issued so far, mirroring
+    the paper's observation that such configurations are too inefficient to
+    finish.
+    """
+    rng = random.Random(seed)
+    oram = PathORAM(
+        config,
+        eviction_policy=BackgroundEviction(livelock_limit=200_000),
+        rng=rng,
+        create_on_miss=True,
+    )
+    working_set = config.working_set_blocks
+    aborted = False
+    try:
+        if prefill:
+            for address in range(1, working_set + 1):
+                oram.access(address)
+                if (
+                    address >= 100
+                    and oram.stats.dummy_accesses
+                    > abort_dummy_factor * oram.stats.real_accesses
+                ):
+                    aborted = True
+                    break
+            oram.stats.reset()
+        if not aborted:
+            for index in range(num_accesses):
+                oram.access(rng.randrange(1, working_set + 1))
+                if (
+                    index >= 100
+                    and oram.stats.dummy_accesses
+                    > abort_dummy_factor * oram.stats.real_accesses
+                ):
+                    aborted = True
+                    break
+    except ReproError:
+        aborted = True
+
+    stats = oram.stats
+    dummy_ratio = stats.dummy_ratio if not aborted else math.inf
+    overhead = (
+        measured_access_overhead(config, stats) if not aborted else math.inf
+    )
+    return SweepPoint(
+        z=config.z,
+        utilization=config.utilization,
+        working_set_blocks=config.working_set_blocks,
+        stash_capacity=config.stash_capacity or 0,
+        levels=config.levels,
+        dummy_ratio=dummy_ratio,
+        access_overhead=overhead,
+        theoretical_overhead=theoretical_access_overhead(config),
+        aborted=aborted,
+    )
+
+
+def sweep_stash_size(
+    z_values: list[int],
+    stash_sizes: list[int],
+    working_set_blocks: int,
+    num_accesses: int,
+    utilization: float = 0.5,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Figure 7: dummy/real ratio versus stash size for each Z."""
+    points = []
+    for z in z_values:
+        for stash in stash_sizes:
+            config = ORAMConfig(
+                working_set_blocks=working_set_blocks,
+                utilization=utilization,
+                z=z,
+                block_bytes=128,
+                stash_capacity=stash,
+                name=f"fig7-z{z}-c{stash}",
+            )
+            points.append(measure_dummy_ratio(config, num_accesses, seed=seed))
+    return points
+
+
+def utilization_config(
+    z: int,
+    utilization: float,
+    capacity_blocks: int,
+    stash_capacity: int = 200,
+    block_bytes: int = 128,
+    stash_slack: int | None = None,
+) -> ORAMConfig:
+    """Build a configuration whose *effective* utilization equals the target.
+
+    The ORAM tree is a perfect binary tree, so its capacity is quantised to
+    ``Z (2^(L+1) - 1)`` blocks.  The paper sweeps utilization by growing the
+    ORAM around a fixed working set; with quantised capacities the requested
+    utilization can land far from the effective one, so this helper instead
+    fixes the tree (the smallest one holding ``capacity_blocks``) and sizes
+    the working set to hit the requested utilization exactly.  EXPERIMENTS.md
+    discusses the substitution.
+    """
+    levels = 0
+    while z * ((1 << (levels + 1)) - 1) < capacity_blocks:
+        levels += 1
+    capacity = z * ((1 << (levels + 1)) - 1)
+    working_set = max(1, int(round(utilization * capacity)))
+    if stash_slack is not None:
+        # Scale the stash with the tree: the paper's absolute C = 200 is
+        # sized for 25-level trees; a scaled-down tree needs a
+        # proportionally tighter stash for eviction pressure to appear
+        # within a short run (see EXPERIMENTS.md).
+        stash_capacity = z * (levels + 1) + stash_slack
+    return ORAMConfig(
+        working_set_blocks=working_set,
+        utilization=working_set / capacity,
+        z=z,
+        block_bytes=block_bytes,
+        stash_capacity=stash_capacity,
+        name=f"fig8-z{z}-u{utilization:.2f}",
+    )
+
+
+def sweep_utilization(
+    z_values: list[int],
+    utilizations: list[float],
+    working_set_blocks: int,
+    num_accesses: int,
+    stash_capacity: int = 200,
+    seed: int = 0,
+    stash_slack: int | None = None,
+) -> list[SweepPoint]:
+    """Figure 8: access overhead versus ORAM utilization for each Z.
+
+    ``working_set_blocks`` sets the scale of the experiment (the tree is
+    sized to hold roughly ``working_set_blocks / 0.5``); each utilization
+    point then adjusts the number of valid blocks so the effective
+    utilization matches the requested one exactly.
+    """
+    points = []
+    capacity_blocks = 2 * working_set_blocks
+    for z in z_values:
+        for utilization in utilizations:
+            config = utilization_config(
+                z, utilization, capacity_blocks, stash_capacity=stash_capacity,
+                stash_slack=stash_slack,
+            )
+            points.append(measure_dummy_ratio(config, num_accesses, seed=seed))
+    return points
+
+
+def sweep_capacity(
+    z_values: list[int],
+    working_sets: list[int],
+    num_accesses_per_point: int,
+    utilization: float = 0.5,
+    stash_capacity: int = 200,
+    seed: int = 0,
+    stash_slack: int | None = None,
+) -> list[SweepPoint]:
+    """Figure 9: access overhead versus ORAM capacity at fixed utilization."""
+    points = []
+    for z in z_values:
+        for working_set in working_sets:
+            config = ORAMConfig(
+                working_set_blocks=working_set,
+                utilization=utilization,
+                z=z,
+                block_bytes=128,
+                stash_capacity=stash_capacity,
+                name=f"fig9-z{z}-n{working_set}",
+            )
+            if stash_slack is not None:
+                config = config.with_updates(
+                    stash_capacity=config.blocks_per_path + stash_slack
+                )
+            points.append(measure_dummy_ratio(config, num_accesses_per_point, seed=seed))
+    return points

@@ -1,0 +1,23 @@
+"""Adversarial analyses of ORAM access patterns.
+
+Currently contains the common-path-length (CPL) attack of Section 3.1.3,
+which distinguishes the insecure block-remapping eviction scheme from the
+paper's secure background eviction by measuring correlation between
+consecutively accessed paths.
+"""
+
+from repro.attacks.cpl import (
+    CPLAttackResult,
+    average_common_path_length,
+    cpl_distribution,
+    expected_common_path_length,
+    run_cpl_experiment,
+)
+
+__all__ = [
+    "average_common_path_length",
+    "expected_common_path_length",
+    "cpl_distribution",
+    "run_cpl_experiment",
+    "CPLAttackResult",
+]

@@ -1,0 +1,53 @@
+"""Path ORAM core: the paper's primary contribution.
+
+The central classes are:
+
+* :class:`repro.core.config.ORAMConfig` — a single Path ORAM's parameters
+  (Z, block size, utilization, stash capacity) and every derived quantity
+  (tree depth L, bucket size M, eviction threshold, …).
+* :class:`repro.core.path_oram.PathORAM` — one Path ORAM with pluggable
+  background-eviction policy, optional super blocks and optional encrypted
+  tree storage.
+* :class:`repro.core.hierarchical.HierarchicalPathORAM` — the recursive
+  construction that stores position maps in further ORAMs.
+* :class:`repro.core.interface.ORAMMemoryInterface` — the exclusive-ORAM
+  front-end a processor's last-level cache talks to.
+* :mod:`repro.core.overhead` — analytic storage and access-overhead models
+  (Section 2.4 and Equations 1-2).
+"""
+
+from repro.core.background_eviction import (
+    BackgroundEviction,
+    EvictionPolicy,
+    InsecureBlockRemapEviction,
+    NoEviction,
+)
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.path_oram import PathORAM
+from repro.core.position_map import PositionMap
+from repro.core.stash import Stash
+from repro.core.stats import AccessStats
+from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
+from repro.core.types import DUMMY_ADDRESS, Block, Operation
+
+__all__ = [
+    "ORAMConfig",
+    "HierarchyConfig",
+    "PathORAM",
+    "HierarchicalPathORAM",
+    "ORAMMemoryInterface",
+    "PositionMap",
+    "Stash",
+    "AccessStats",
+    "Block",
+    "Operation",
+    "DUMMY_ADDRESS",
+    "EvictionPolicy",
+    "NoEviction",
+    "BackgroundEviction",
+    "InsecureBlockRemapEviction",
+    "SuperBlockMapper",
+    "StaticSuperBlockMapper",
+]

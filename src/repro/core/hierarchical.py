@@ -1,0 +1,267 @@
+"""Hierarchical (recursive) Path ORAM (Section 2.3).
+
+``ORAM_1`` holds the program's data blocks; ``ORAM_2`` holds ``ORAM_1``'s
+position map, packed ``k`` leaf labels per block; and so on until the
+outermost position map fits on chip.  One logical access therefore walks the
+chain outermost-first: each position-map lookup yields the leaf to read in
+the next (larger) ORAM and simultaneously installs the fresh leaf that ORAM
+is being remapped to.
+
+Background eviction follows Section 3.1.1: whenever *any* stash in the
+hierarchy exceeds its threshold, a dummy access is issued to *every* ORAM in
+the same order as a normal access (smallest first, data ORAM last), so dummy
+rounds are indistinguishable from real accesses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.core.background_eviction import NoEviction
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.path_oram import PathORAM
+from repro.core.position_map import PositionMap
+from repro.core.stats import AccessStats
+from repro.core.tree import TreeStorage
+from repro.core.types import AccessResult, Operation
+from repro.errors import ReproError, StashOverflowError
+
+StorageFactory = Callable[[ORAMConfig], TreeStorage]
+
+
+class HierarchicalPathORAM:
+    """A chain of Path ORAMs implementing the recursive construction.
+
+    Parameters
+    ----------
+    hierarchy:
+        The :class:`HierarchyConfig` describing every ORAM in the chain.
+    rng:
+        Shared random source (seed for reproducibility).
+    storage_factory:
+        Optional callable building a tree-storage back-end per ORAM config
+        (e.g. to use encrypted storage); defaults to the functional backend.
+    record_path_trace:
+        Forwarded to each underlying :class:`PathORAM`.
+    livelock_limit:
+        Safety cap on dummy rounds per eviction trigger.
+    """
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig,
+        rng: random.Random | None = None,
+        storage_factory: StorageFactory | None = None,
+        record_path_trace: bool = False,
+        livelock_limit: int = 100_000,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._rng = rng if rng is not None else random.Random()
+        self._configs = hierarchy.oram_configs
+        self._orams: list[PathORAM] = []
+        for config in self._configs:
+            storage = storage_factory(config) if storage_factory is not None else None
+            self._orams.append(
+                PathORAM(
+                    config,
+                    storage=storage,
+                    eviction_policy=NoEviction(),
+                    rng=self._rng,
+                    create_on_miss=True,
+                    record_path_trace=record_path_trace,
+                )
+            )
+        # labels_per_block[i] = how many leaf labels of ORAM i fit in one
+        # block of ORAM i+1 (both zero-indexed, data ORAM = 0).
+        self._labels_per_block = [
+            hierarchy.labels_per_position_block(self._configs[i])
+            for i in range(len(self._configs) - 1)
+        ]
+        outer = self._configs[-1]
+        self._onchip_position_map = PositionMap(
+            outer.position_map_entries, outer.num_leaves, rng=self._rng
+        )
+        self._stats = AccessStats()
+        self._livelock_limit = livelock_limit
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> HierarchyConfig:
+        return self._hierarchy
+
+    @property
+    def orams(self) -> tuple[PathORAM, ...]:
+        """The underlying ORAMs, data ORAM first."""
+        return tuple(self._orams)
+
+    @property
+    def data_oram(self) -> PathORAM:
+        return self._orams[0]
+
+    @property
+    def num_orams(self) -> int:
+        return len(self._orams)
+
+    @property
+    def stats(self) -> AccessStats:
+        """Hierarchy-level counters: real accesses and dummy *rounds*."""
+        return self._stats
+
+    @property
+    def onchip_position_map(self) -> PositionMap:
+        return self._onchip_position_map
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, address: int, op: Operation = Operation.READ, data: Any = None) -> AccessResult:
+        """One full hierarchical access (``accessHORAM`` in Section 2.3)."""
+        current_leaf = self._resolve_position_chain(address)
+        result = self._orams[0].access_path(
+            address, current_leaf, self._pending_data_leaf, op, data
+        )
+        self._stats.record_real_access()
+        dummy_rounds = self._run_background_eviction()
+        result.dummy_accesses = dummy_rounds
+        return result
+
+    def read(self, address: int) -> AccessResult:
+        return self.access(address, Operation.READ)
+
+    def write(self, address: int, data: Any) -> AccessResult:
+        return self.access(address, Operation.WRITE, data)
+
+    def extract(self, address: int) -> dict[int, Any]:
+        """Exclusive-ORAM fetch: remove the block's super-block group from
+        the data ORAM (position-map ORAMs are traversed normally)."""
+        current_leaf = self._resolve_position_chain(address)
+        extracted = self._orams[0].extract_path(address, current_leaf, self._pending_data_leaf)
+        self._stats.record_real_access()
+        self._run_background_eviction()
+        return extracted
+
+    def insert(self, address: int, data: Any = None) -> int:
+        """Exclusive-ORAM write-back of an evicted cache line.
+
+        No path is accessed (Section 3.3.1); the block drops into the data
+        ORAM's stash at its group's current leaf, then background eviction
+        runs across the hierarchy.
+        """
+        self._orams[0].insert(address, data)
+        return self._run_background_eviction()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _identifier_chain(self, address: int) -> list[tuple[int, int]]:
+        """For each position-map ORAM (innermost data side first), the
+        ``(block_address, slot)`` holding the child's leaf label."""
+        chain: list[tuple[int, int]] = []
+        identifier = self._orams[0].super_block_mapper.group_of(address)
+        for labels_per_block in self._labels_per_block:
+            block_address = identifier // labels_per_block + 1
+            slot = identifier % labels_per_block
+            chain.append((block_address, slot))
+            identifier = block_address - 1
+        return chain
+
+    def _resolve_position_chain(self, address: int) -> int:
+        """Walk the position-map ORAMs outermost-first.
+
+        Returns the data ORAM leaf currently assigned to ``address``'s group
+        and leaves the freshly drawn new data-ORAM leaf in
+        ``self._pending_data_leaf``.  Every position-map ORAM along the way
+        is accessed (and its relevant entry updated to the child's new
+        leaf), exactly as ``accessHORAM`` prescribes.
+        """
+        chain = self._identifier_chain(address)
+        new_leaves = [self._rng.randrange(cfg.num_leaves) for cfg in self._configs]
+        self._pending_data_leaf = new_leaves[0]
+
+        if not chain:
+            # Single-ORAM hierarchy: the on-chip map holds data leaves directly.
+            group = self._orams[0].super_block_mapper.group_of(address)
+            current = self._onchip_position_map.lookup(group)
+            self._onchip_position_map.assign(group, new_leaves[0])
+            return current
+
+        # The outermost position-map ORAM's own leaf comes from the on-chip map.
+        outer_index = len(self._configs) - 1
+        outer_block_address, _ = chain[-1]
+        outer_group = self._orams[outer_index].super_block_mapper.group_of(outer_block_address)
+        current_leaf = self._onchip_position_map.lookup(outer_group)
+        self._onchip_position_map.assign(outer_group, new_leaves[outer_index])
+
+        # Walk from the outermost position-map ORAM inwards to ORAM_2.
+        for oram_index in range(outer_index, 0, -1):
+            block_address, slot = chain[oram_index - 1]
+            child_config = self._configs[oram_index - 1]
+            child_new_leaf = new_leaves[oram_index - 1]
+            labels_per_block = self._labels_per_block[oram_index - 1]
+            captured: dict[str, int] = {}
+
+            def mutate(labels: Any, *,
+                       _slot: int = slot,
+                       _k: int = labels_per_block,
+                       _child_leaves: int = child_config.num_leaves,
+                       _new: int = child_new_leaf,
+                       _captured: dict[str, int] = captured) -> list[int]:
+                if labels is None:
+                    labels = [self._rng.randrange(_child_leaves) for _ in range(_k)]
+                else:
+                    labels = list(labels)
+                _captured["current"] = labels[_slot]
+                labels[_slot] = _new
+                return labels
+
+            self._orams[oram_index].access_path(
+                block_address,
+                current_leaf,
+                new_leaves[oram_index],
+                Operation.READ,
+                None,
+                mutate=mutate,
+            )
+            if "current" not in captured:
+                raise ReproError("position-map block mutation did not run")
+            current_leaf = captured["current"]
+        return current_leaf
+
+    def _run_background_eviction(self) -> int:
+        """Issue dummy rounds until every stash is below its threshold."""
+        rounds = 0
+        while self._any_stash_over_threshold():
+            for oram in reversed(self._orams):  # smallest ORAM first, data last
+                oram.dummy_access()
+            rounds += 1
+            self._stats.record_dummy_access()
+            if rounds > self._livelock_limit:
+                raise ReproError("hierarchical background eviction livelock")
+        self._check_stash_bounds()
+        return rounds
+
+    def _any_stash_over_threshold(self) -> bool:
+        for oram in self._orams:
+            threshold = oram.config.eviction_threshold
+            if threshold is not None and oram.stash_occupancy > threshold:
+                return True
+        return False
+
+    def _check_stash_bounds(self) -> None:
+        for oram in self._orams:
+            capacity = oram.config.stash_capacity
+            if capacity is not None and oram.stash_occupancy > capacity:
+                raise StashOverflowError(
+                    f"{oram.config.name or 'ORAM'}: stash {oram.stash_occupancy} > {capacity}"
+                )
+
+    def total_dummy_rounds(self) -> int:
+        """Dummy rounds issued since construction."""
+        return self._stats.dummy_accesses
+
+    def total_real_accesses(self) -> int:
+        """Real hierarchical accesses since construction."""
+        return self._stats.real_accesses

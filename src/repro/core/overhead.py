@@ -1,0 +1,89 @@
+"""Analytic storage and access-overhead models (Section 2.4, Equations 1-2).
+
+These functions compute the paper's metrics directly from configurations
+(and, when available, measured dummy-access counts), independent of any
+simulation.  They back the Figure 8/9/10 benchmark harnesses and the
+Table 2 storage columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.stats import AccessStats
+
+
+def theoretical_access_overhead(config: ORAMConfig) -> float:
+    """``2 (L+1) M / B`` — data moved per useful bit, no dummy accesses."""
+    return 2 * (config.levels + 1) * config.padded_bucket_bits / config.block_bits
+
+
+def measured_access_overhead(config: ORAMConfig, stats: AccessStats) -> float:
+    """Equation 1: the theoretical overhead scaled by ``(RA + DA) / RA``."""
+    return stats.access_overhead(config.levels, config.padded_bucket_bits, config.block_bits)
+
+
+def bytes_moved_per_access(config: ORAMConfig) -> int:
+    """Bytes read plus written for one path access, ``2 (L+1) * bucket_bytes``."""
+    return 2 * (config.levels + 1) * config.bucket_bytes
+
+
+def hierarchy_theoretical_access_overhead(hierarchy: HierarchyConfig) -> float:
+    """``sum_i 2 (L_i + 1) M_i / B_1`` — Equation 2 without dummy accesses."""
+    data_block_bits = hierarchy.data_oram.block_bits
+    total = 0.0
+    for config in hierarchy.oram_configs:
+        total += 2 * (config.levels + 1) * config.padded_bucket_bits
+    return total / data_block_bits
+
+
+def hierarchy_measured_access_overhead(
+    hierarchy: HierarchyConfig, real_accesses: int, dummy_accesses: int
+) -> float:
+    """Equation 2: the hierarchical overhead scaled by ``(RA + DA) / RA``."""
+    theoretical = hierarchy_theoretical_access_overhead(hierarchy)
+    if real_accesses == 0:
+        return theoretical
+    return (real_accesses + dummy_accesses) / real_accesses * theoretical
+
+
+def hierarchy_overhead_breakdown(hierarchy: HierarchyConfig) -> list[float]:
+    """Per-ORAM contribution to Equation 2 (the Figure 10 stacked bars)."""
+    data_block_bits = hierarchy.data_oram.block_bits
+    return [
+        2 * (config.levels + 1) * config.padded_bucket_bits / data_block_bits
+        for config in hierarchy.oram_configs
+    ]
+
+
+@dataclass(frozen=True)
+class OnChipStorage:
+    """On-chip storage requirement of an ORAM interface (Table 2 columns)."""
+
+    stash_bytes: int
+    position_map_bytes: int
+
+    @property
+    def stash_kilobytes(self) -> float:
+        return self.stash_bytes / 1024
+
+    @property
+    def position_map_kilobytes(self) -> float:
+        return self.position_map_bytes / 1024
+
+
+def onchip_storage(hierarchy: HierarchyConfig) -> OnChipStorage:
+    """Stash and final position-map storage for a hierarchical ORAM."""
+    return OnChipStorage(
+        stash_bytes=(hierarchy.onchip_stash_bits + 7) // 8,
+        position_map_bytes=(hierarchy.onchip_position_map_bits + 7) // 8,
+    )
+
+
+def single_oram_onchip_storage(config: ORAMConfig) -> OnChipStorage:
+    """Stash and position-map storage for a single (non-recursive) ORAM."""
+    return OnChipStorage(
+        stash_bytes=(config.stash_bits + 7) // 8,
+        position_map_bytes=(config.position_map_bits + 7) // 8,
+    )

@@ -1,0 +1,428 @@
+"""The Path ORAM protocol (Section 2.1) with the paper's optimizations.
+
+:class:`PathORAM` implements ``accessORAM`` / ``accessPath`` on top of a
+pluggable tree storage back-end, with:
+
+* a pluggable background-eviction policy (Section 3.1),
+* optional super blocks via a :class:`SuperBlockMapper` (Section 3.2),
+* an exclusive-ORAM API (:meth:`extract` / :meth:`insert`) used by the
+  processor integration (Section 3.3.1),
+* an ``access_path`` entry point used by the hierarchical construction
+  (Section 2.3), and
+* an optional adversary-visible trace of accessed leaves, used by the
+  common-path-length attack (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.background_eviction import BackgroundEviction, EvictionPolicy, NoEviction
+from repro.core.config import ORAMConfig
+from repro.core.position_map import PositionMap
+from repro.core.stash import Stash
+from repro.core.stats import AccessStats
+from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
+from repro.core.tree import PlainTreeStorage, TreeStorage
+from repro.core.types import AccessResult, Block, Operation
+from repro.errors import ConfigurationError, StashOverflowError
+
+
+def leaf_common_path_length(leaf_a: int, leaf_b: int, levels: int) -> int:
+    """Common path length of two leaves, computed from their labels.
+
+    Equivalent to :func:`repro.core.tree.common_path_length` but O(1): two
+    paths share ``t + 1`` buckets where ``t`` is the number of common
+    leading bits of the two ``L``-bit leaf labels.
+    """
+    if levels == 0:
+        return 1
+    diff = leaf_a ^ leaf_b
+    if diff == 0:
+        return levels + 1
+    return levels - diff.bit_length() + 1
+
+
+class PathORAM:
+    """A single Path ORAM.
+
+    Parameters
+    ----------
+    config:
+        The ORAM's parameters.
+    storage:
+        Tree storage back-end; defaults to the functional
+        :class:`PlainTreeStorage`.
+    eviction_policy:
+        Background-eviction policy; defaults to the paper's
+        :class:`BackgroundEviction` when the stash is bounded and
+        :class:`NoEviction` when it is unbounded.
+    super_block_mapper:
+        Super-block grouping policy; defaults to the static mapper with the
+        config's ``super_block_size``.
+    rng:
+        Random source for leaf assignment (seed it for reproducibility).
+    create_on_miss:
+        When True (default), a read of an address that was never written
+        materialises the block with an empty payload, modelling a secure
+        processor whose entire address space logically exists.
+    record_path_trace:
+        When True, every accessed leaf (real and dummy) is appended to
+        :attr:`path_trace` — the adversary's view used by the CPL attack.
+    """
+
+    def __init__(
+        self,
+        config: ORAMConfig,
+        storage: TreeStorage | None = None,
+        eviction_policy: EvictionPolicy | None = None,
+        super_block_mapper: SuperBlockMapper | None = None,
+        rng: random.Random | None = None,
+        create_on_miss: bool = True,
+        record_path_trace: bool = False,
+    ) -> None:
+        self._config = config
+        self._rng = rng if rng is not None else random.Random()
+        self._storage = storage if storage is not None else PlainTreeStorage(config)
+        if self._storage.config is not config and self._storage.config != config:
+            raise ConfigurationError("storage was built for a different configuration")
+        self._mapper = (
+            super_block_mapper
+            if super_block_mapper is not None
+            else StaticSuperBlockMapper(config.super_block_size)
+        )
+        num_groups = self._mapper.num_groups(config.working_set_blocks)
+        self._position_map = PositionMap(num_groups, config.num_leaves, rng=self._rng)
+        self._stash = Stash(capacity=None)
+        if eviction_policy is not None:
+            self._eviction = eviction_policy
+        elif config.stash_capacity is None:
+            self._eviction = NoEviction()
+        else:
+            self._eviction = BackgroundEviction()
+        self._stats = AccessStats()
+        self._create_on_miss = create_on_miss
+        self._record_path_trace = record_path_trace
+        self._path_trace: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ORAMConfig:
+        return self._config
+
+    @property
+    def stats(self) -> AccessStats:
+        return self._stats
+
+    @property
+    def position_map(self) -> PositionMap:
+        return self._position_map
+
+    @property
+    def storage(self) -> TreeStorage:
+        return self._storage
+
+    @property
+    def super_block_mapper(self) -> SuperBlockMapper:
+        return self._mapper
+
+    @property
+    def eviction_policy(self) -> EvictionPolicy:
+        return self._eviction
+
+    @property
+    def stash_occupancy(self) -> int:
+        """Number of real blocks currently in the stash."""
+        return self._stash.occupancy
+
+    @property
+    def max_stash_occupancy(self) -> int:
+        """High-water mark of the stash occupancy."""
+        return self._stash.max_occupancy
+
+    @property
+    def path_trace(self) -> list[int]:
+        """Sequence of accessed leaves as visible to an adversary."""
+        return self._path_trace
+
+    def stash_addresses(self) -> list[int]:
+        """Addresses of blocks currently in the stash."""
+        return self._stash.addresses()
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` currently has a block in the stash or tree."""
+        if address in self._stash:
+            return True
+        group = self._mapper.group_of(address)
+        leaf = self._position_map.lookup(group)
+        return any(block.address == address for block in self._storage.read_path(leaf))
+
+    def total_blocks_stored(self) -> int:
+        """Real blocks across the stash and the tree (invariant checking)."""
+        return self._stash.occupancy + self._storage.occupancy()
+
+    # ------------------------------------------------------------------
+    # The ORAM protocol
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        address: int,
+        op: Operation = Operation.READ,
+        data: Any = None,
+    ) -> AccessResult:
+        """Perform one ORAM access (``accessORAM`` in the paper).
+
+        Looks up the position map, reads the mapped path, remaps the block's
+        super-block group to a fresh random leaf, writes the path back, and
+        finally lets the background-eviction policy issue dummy accesses.
+        """
+        self._check_address(address)
+        group = self._mapper.group_of(address)
+        old_leaf = self._position_map.lookup(group)
+        new_leaf = self._position_map.random_leaf()
+        self._position_map.assign(group, new_leaf)
+        result = self._access_path(address, group, old_leaf, new_leaf, op, data)
+        self._stats.record_real_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+        dummy_count = self._eviction.after_access(self)
+        self._check_stash_bound()
+        result.dummy_accesses = dummy_count
+        return result
+
+    def read(self, address: int) -> AccessResult:
+        """Convenience wrapper for a read access."""
+        return self.access(address, Operation.READ)
+
+    def write(self, address: int, data: Any) -> AccessResult:
+        """Convenience wrapper for a write access."""
+        return self.access(address, Operation.WRITE, data)
+
+    def access_path(
+        self,
+        address: int,
+        current_leaf: int,
+        new_leaf: int,
+        op: Operation = Operation.READ,
+        data: Any = None,
+        mutate: Any = None,
+    ) -> AccessResult:
+        """``accessPath`` (steps 2-5 of Section 2.1) with externally supplied
+        leaves, as required by the hierarchical construction where the leaf
+        comes from the parent position-map ORAM.
+
+        ``mutate``, when given, is a callable applied to the block's payload
+        while the block sits in the stash (read-modify-write); the
+        hierarchical ORAM uses it to swap one leaf label inside a
+        position-map block.
+        """
+        self._check_address(address)
+        group = self._mapper.group_of(address)
+        self._position_map.assign(group, new_leaf)
+        result = self._access_path(address, group, current_leaf, new_leaf, op, data, mutate)
+        self._stats.record_real_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+        result.dummy_accesses = 0
+        return result
+
+    def extract_path(self, address: int, current_leaf: int, new_leaf: int) -> dict[int, Any]:
+        """Exclusive-ORAM extraction with externally supplied leaves.
+
+        Like :meth:`extract`, but the current and new leaves come from the
+        caller (the hierarchical ORAM's position-map chain) instead of this
+        ORAM's own position map.
+        """
+        self._check_address(address)
+        group = self._mapper.group_of(address)
+        self._position_map.assign(group, new_leaf)
+        self._read_path_into_stash(current_leaf)
+        extracted = self._collect_group(address, group)
+        self._write_back_path(current_leaf)
+        self._stats.record_real_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+        return extracted
+
+    def _collect_group(self, address: int, group: int) -> dict[int, Any]:
+        """Remove the requested super-block group from the stash.
+
+        With ``create_on_miss`` (the secure-processor setting, where the
+        whole address space logically lives in the ORAM) members that have
+        never been written are still returned, with an empty payload, so
+        super-block prefetching moves the entire group into the cache as
+        Section 3.2 prescribes.
+        """
+        extracted: dict[int, Any] = {}
+        for member in self._mapper.addresses_in_group(group):
+            if member > self._config.working_set_blocks:
+                continue
+            block = self._stash.pop(member)
+            if block is not None:
+                extracted[member] = block.data
+            elif self._create_on_miss:
+                extracted[member] = None
+        if address not in extracted and self._create_on_miss:
+            extracted[address] = None
+        return extracted
+
+    def dummy_access(self) -> None:
+        """A background-eviction dummy access (Section 3.1.1).
+
+        Reads a uniformly random path and writes back as many blocks as
+        possible; no block is remapped, so the stash cannot grow.
+        """
+        leaf = self._position_map.random_leaf()
+        self._read_path_into_stash(leaf)
+        self._write_back_path(leaf)
+        self._stats.record_dummy_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+
+    def remap_access(self, address: int) -> None:
+        """Access-and-remap used by the *insecure* eviction scheme.
+
+        The accessed path is the victim block's current leaf — which is what
+        correlates consecutive accesses and leaks (Section 3.1.3).  Counted
+        as a dummy access in the statistics.
+        """
+        group = self._mapper.group_of(address)
+        old_leaf = self._position_map.lookup(group)
+        new_leaf = self._position_map.random_leaf()
+        self._position_map.assign(group, new_leaf)
+        self._read_path_into_stash(old_leaf)
+        self._retarget_group(group, new_leaf)
+        self._write_back_path(old_leaf)
+        self._stats.record_dummy_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+
+    # ------------------------------------------------------------------
+    # Exclusive-ORAM API used by the processor integration
+    # ------------------------------------------------------------------
+    def extract(self, address: int) -> dict[int, Any]:
+        """Remove the requested block's entire super-block group from the
+        ORAM and return ``{address: payload}`` for every member found.
+
+        The group is remapped so that members re-inserted later (on cache
+        eviction) share a fresh path.  Background eviction runs afterwards.
+        """
+        self._check_address(address)
+        group = self._mapper.group_of(address)
+        old_leaf = self._position_map.lookup(group)
+        new_leaf = self._position_map.random_leaf()
+        self._position_map.assign(group, new_leaf)
+        self._read_path_into_stash(old_leaf)
+        extracted = self._collect_group(address, group)
+        self._write_back_path(old_leaf)
+        self._stats.record_real_access()
+        self._stats.sample_stash_occupancy(self._stash.occupancy)
+        self._eviction.after_access(self)
+        self._check_stash_bound()
+        return extracted
+
+    def insert(self, address: int, data: Any = None) -> int:
+        """Put a block back into the ORAM stash without a path access
+        (exclusive ORAM, Section 3.3.1), then run background eviction.
+
+        Returns the number of dummy accesses issued.
+        """
+        self._check_address(address)
+        group = self._mapper.group_of(address)
+        leaf = self._position_map.lookup(group)
+        self._stash.add(Block(address=address, leaf=leaf, data=data))
+        dummy_count = self._eviction.after_access(self)
+        self._check_stash_bound()
+        return dummy_count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_address(self, address: int) -> None:
+        if not 1 <= address <= self._config.working_set_blocks:
+            raise ConfigurationError(
+                f"address {address} outside [1, {self._config.working_set_blocks}]"
+            )
+
+    def _check_stash_bound(self) -> None:
+        capacity = self._config.stash_capacity
+        if capacity is not None and self._stash.occupancy > capacity:
+            raise StashOverflowError(
+                f"Path ORAM failure: stash holds {self._stash.occupancy} blocks, "
+                f"capacity is {capacity}"
+            )
+
+    def _access_path(
+        self,
+        address: int,
+        group: int,
+        current_leaf: int,
+        new_leaf: int,
+        op: Operation,
+        data: Any,
+        mutate: Any = None,
+    ) -> AccessResult:
+        self._read_path_into_stash(current_leaf)
+        block = self._stash.get(address)
+        found = block is not None
+        if block is None:
+            if op is Operation.WRITE or mutate is not None or self._create_on_miss:
+                block = Block(address=address, leaf=new_leaf, data=None)
+                self._stash.add(block)
+        if block is not None and op is Operation.WRITE:
+            block.data = data
+        if block is not None and mutate is not None:
+            block.data = mutate(block.data)
+        self._retarget_group(group, new_leaf)
+        result_data = block.data if block is not None else None
+        self._write_back_path(current_leaf)
+        return AccessResult(address=address, data=result_data, found=found)
+
+    def _retarget_group(self, group: int, new_leaf: int) -> None:
+        """Point every stash-resident member of ``group`` at ``new_leaf``.
+
+        By the super-block invariant all members share a leaf, so after the
+        path read every member still stored in the ORAM is in the stash.
+        """
+        for member in self._mapper.addresses_in_group(group):
+            member_block = self._stash.get(member)
+            if member_block is not None:
+                member_block.leaf = new_leaf
+
+    def _read_path_into_stash(self, leaf: int) -> None:
+        if self._record_path_trace:
+            self._path_trace.append(leaf)
+        blocks = self._storage.read_path(leaf)
+        for block in blocks:
+            self._stash.add(block)
+        self._stats.record_path_read(len(blocks))
+        # The blocks now live in the stash; the write-back step rewrites
+        # every bucket on this path, so no explicit clearing is needed.
+
+    def _write_back_path(self, leaf: int) -> None:
+        """Greedy eviction: place stash blocks as deep as possible on ``leaf``'s path."""
+        levels = self._config.levels
+        z = self._config.z
+        path = self._storage.path(leaf)
+
+        # Group stash blocks by the deepest level they may occupy on this path.
+        by_deepest: list[list[Block]] = [[] for _ in range(levels + 1)]
+        for block in self._stash:
+            deepest = leaf_common_path_length(block.leaf, leaf, levels) - 1
+            by_deepest[deepest].append(block)
+
+        assignments: dict[int, list[Block]] = {}
+        written = 0
+        available: list[Block] = []
+        for level in range(levels, -1, -1):
+            # Blocks whose deepest legal level is exactly `level` become
+            # available here and remain candidates for shallower levels.
+            available.extend(by_deepest[level])
+            bucket: list[Block] = []
+            while available and len(bucket) < z:
+                bucket.append(available.pop())
+            if bucket:
+                assignments[path[level]] = bucket
+                written += len(bucket)
+                for block in bucket:
+                    self._stash.pop(block.address)
+        self._storage.write_path(leaf, assignments)
+        self._stats.record_path_write(written)

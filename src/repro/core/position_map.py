@@ -1,0 +1,74 @@
+"""The position map: program address (or super-block group) → leaf label."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class PositionMap:
+    """Maps each of ``num_entries`` identifiers to a leaf in ``[0, num_leaves)``.
+
+    The map is initialised with uniformly random leaves, mirroring the
+    paper's initial state where every program address is associated with a
+    random leaf before any access is made.
+
+    Parameters
+    ----------
+    num_entries:
+        Number of identifiers to track (blocks, or super-block groups).
+    num_leaves:
+        Number of leaves in the ORAM tree.
+    rng:
+        Random source used for the initial assignment and for
+        :meth:`remap`.
+    """
+
+    def __init__(self, num_entries: int, num_leaves: int, rng: random.Random | None = None) -> None:
+        if num_entries < 1:
+            raise ConfigurationError("position map needs at least one entry")
+        if num_leaves < 1:
+            raise ConfigurationError("position map needs at least one leaf")
+        self._rng = rng if rng is not None else random.Random()
+        self._num_leaves = num_leaves
+        self._leaves = [self._rng.randrange(num_leaves) for _ in range(num_entries)]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves entries may map to."""
+        return self._num_leaves
+
+    def lookup(self, identifier: int) -> int:
+        """Return the leaf currently assigned to ``identifier``."""
+        return self._leaves[identifier]
+
+    def assign(self, identifier: int, leaf: int) -> None:
+        """Set the leaf for ``identifier`` explicitly."""
+        if not 0 <= leaf < self._num_leaves:
+            raise ConfigurationError(f"leaf {leaf} out of range [0, {self._num_leaves})")
+        self._leaves[identifier] = leaf
+
+    def remap(self, identifier: int) -> tuple[int, int]:
+        """Remap ``identifier`` to a fresh uniformly random leaf.
+
+        Returns
+        -------
+        tuple
+            ``(old_leaf, new_leaf)``.
+        """
+        old_leaf = self._leaves[identifier]
+        new_leaf = self._rng.randrange(self._num_leaves)
+        self._leaves[identifier] = new_leaf
+        return old_leaf, new_leaf
+
+    def random_leaf(self) -> int:
+        """Draw a uniformly random leaf (used for dummy accesses)."""
+        return self._rng.randrange(self._num_leaves)
+
+    def size_bits(self, leaf_bits: int) -> int:
+        """Storage required by this map at ``leaf_bits`` bits per entry."""
+        return len(self._leaves) * leaf_bits

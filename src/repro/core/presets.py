@@ -1,0 +1,148 @@
+"""Named configurations from the paper's evaluation, with a scale knob.
+
+The paper's data ORAM is 8 GB at 50% utilization (a 4 GB working set of
+128-byte blocks, i.e. 2^25 blocks) — far beyond what a pure-Python
+functional simulation can sweep.  Every preset therefore takes a ``scale``
+parameter: the working set (and the on-chip position-map budget, so that
+the hierarchy keeps a comparable number of levels) is multiplied by it.
+``scale=1.0`` reproduces the paper's nominal parameters; the benchmarks
+default to much smaller scales and record both in their output.
+
+Presets (Figure 10 / 12 notation):
+
+* ``base_oram`` — the Ascend baseline [Fletcher et al. 2012]: every ORAM in
+  the hierarchy uses 128-byte blocks, Z=4, and the strawman encryption.
+* ``dz3pb32`` / ``dz4pb32`` — data ORAM Z=3 (or 4), position-map ORAMs with
+  32-byte blocks and Z=3, counter-based encryption.
+* ``make_hierarchy`` — the general constructor behind all of the above.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+
+#: The paper's data-ORAM working set: 4 GB of 128-byte blocks.
+PAPER_WORKING_SET_BLOCKS = 1 << 25
+
+#: The paper's on-chip position-map budget (final map smaller than 200 KB).
+PAPER_ONCHIP_POSITION_MAP_BYTES = 200 * 1024
+
+#: The paper's default stash capacity (Section 4.1.2).
+PAPER_STASH_CAPACITY = 200
+
+
+def scaled_working_set_blocks(scale: float, minimum: int = 1024) -> int:
+    """Working-set size in blocks at the given scale factor."""
+    return max(minimum, int(round(PAPER_WORKING_SET_BLOCKS * scale)))
+
+
+def scaled_position_map_limit_bytes(scale: float, minimum: int = 64) -> int:
+    """On-chip position-map budget at the given scale factor."""
+    return max(minimum, int(round(PAPER_ONCHIP_POSITION_MAP_BYTES * scale)))
+
+
+def data_oram_config(
+    scale: float = 1.0,
+    z: int = 3,
+    utilization: float = 0.5,
+    block_bytes: int = 128,
+    stash_capacity: int | None = PAPER_STASH_CAPACITY,
+    encryption: str = "counter",
+    super_block_size: int = 1,
+    name: str = "",
+) -> ORAMConfig:
+    """The data ORAM (ORAM_1) at the given scale."""
+    return ORAMConfig(
+        working_set_blocks=scaled_working_set_blocks(scale),
+        utilization=utilization,
+        z=z,
+        block_bytes=block_bytes,
+        stash_capacity=stash_capacity,
+        encryption=encryption,  # type: ignore[arg-type]
+        super_block_size=super_block_size,
+        name=name,
+    )
+
+
+def make_hierarchy(
+    scale: float = 1.0,
+    data_z: int = 3,
+    position_map_block_bytes: int = 32,
+    position_map_z: int = 3,
+    data_block_bytes: int = 128,
+    utilization: float = 0.5,
+    stash_capacity: int | None = PAPER_STASH_CAPACITY,
+    encryption: str = "counter",
+    super_block_size: int = 1,
+    name: str = "",
+) -> HierarchyConfig:
+    """General hierarchical configuration used by Figures 10-12."""
+    data = data_oram_config(
+        scale=scale,
+        z=data_z,
+        utilization=utilization,
+        block_bytes=data_block_bytes,
+        stash_capacity=stash_capacity,
+        encryption=encryption,
+        super_block_size=super_block_size,
+        name=name or f"DZ{data_z}Pb{position_map_block_bytes}",
+    )
+    return HierarchyConfig(
+        data_oram=data,
+        position_map_block_bytes=position_map_block_bytes,
+        position_map_z=position_map_z,
+        position_map_stash_capacity=stash_capacity,
+        position_map_utilization=utilization,
+        onchip_position_map_limit_bytes=scaled_position_map_limit_bytes(scale),
+        position_map_encryption=encryption,  # type: ignore[arg-type]
+        name=name or f"DZ{data_z}Pb{position_map_block_bytes}",
+    )
+
+
+def base_oram(scale: float = 1.0, super_block_size: int = 1) -> HierarchyConfig:
+    """The baseline configuration of [Fletcher et al. 2012] ("baseORAM").
+
+    All ORAMs use 128-byte blocks, Z = 4, and the strawman encryption
+    scheme (Section 2.2.1).
+    """
+    return make_hierarchy(
+        scale=scale,
+        data_z=4,
+        position_map_block_bytes=128,
+        position_map_z=4,
+        encryption="strawman",
+        super_block_size=super_block_size,
+        name="baseORAM",
+    )
+
+
+def dz3pb32(scale: float = 1.0, super_block_size: int = 1) -> HierarchyConfig:
+    """DZ3Pb32: data ORAM Z=3, 32-byte position-map blocks (best non-super-block)."""
+    return make_hierarchy(scale=scale, data_z=3, position_map_block_bytes=32,
+                          super_block_size=super_block_size, name="DZ3Pb32")
+
+
+def dz4pb32(scale: float = 1.0, super_block_size: int = 1) -> HierarchyConfig:
+    """DZ4Pb32: data ORAM Z=4, 32-byte position-map blocks."""
+    return make_hierarchy(scale=scale, data_z=4, position_map_block_bytes=32,
+                          super_block_size=super_block_size, name="DZ4Pb32")
+
+
+def dz3pb12(scale: float = 1.0, super_block_size: int = 1) -> HierarchyConfig:
+    """DZ3Pb12: data ORAM Z=3, 12-byte position-map blocks."""
+    return make_hierarchy(scale=scale, data_z=3, position_map_block_bytes=12,
+                          super_block_size=super_block_size, name="DZ3Pb12")
+
+
+def dz4pb12(scale: float = 1.0, super_block_size: int = 1) -> HierarchyConfig:
+    """DZ4Pb12: data ORAM Z=4, 12-byte position-map blocks."""
+    return make_hierarchy(scale=scale, data_z=4, position_map_block_bytes=12,
+                          super_block_size=super_block_size, name="DZ4Pb12")
+
+
+#: The configurations Figure 12 evaluates, by display name.
+FIGURE12_CONFIGS = {
+    "baseORAM": base_oram,
+    "DZ3Pb32": dz3pb32,
+    "DZ4Pb32": dz4pb32,
+}

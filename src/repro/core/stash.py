@@ -1,0 +1,95 @@
+"""The Path ORAM stash (the 'local cache' of the original paper)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.types import Block
+from repro.errors import StashOverflowError
+
+
+class Stash:
+    """Holds up to ``capacity`` real blocks inside the ORAM interface.
+
+    The stash is keyed by program address: Path ORAM never stores two copies
+    of the same block, so an address uniquely identifies a stash entry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of blocks, or ``None`` for an unbounded stash (used
+        when studying failure probability with no background eviction).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._blocks: dict[int, Block] = {}
+        self._capacity = capacity
+        self._max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    @property
+    def capacity(self) -> int | None:
+        """Configured capacity (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of blocks held."""
+        return len(self._blocks)
+
+    @property
+    def max_occupancy(self) -> int:
+        """High-water mark of :attr:`occupancy` since construction."""
+        return self._max_occupancy
+
+    def add(self, block: Block) -> None:
+        """Insert (or overwrite) a block.
+
+        Raises
+        ------
+        StashOverflowError
+            If the stash has a finite capacity and this insertion would
+            exceed it.  With background eviction enabled the ORAM never
+            lets this happen.
+        """
+        if block.is_dummy():
+            return
+        if (
+            self._capacity is not None
+            and block.address not in self._blocks
+            and len(self._blocks) >= self._capacity
+        ):
+            raise StashOverflowError(
+                f"stash overflow: capacity {self._capacity} exceeded"
+            )
+        self._blocks[block.address] = block
+        if len(self._blocks) > self._max_occupancy:
+            self._max_occupancy = len(self._blocks)
+
+    def get(self, address: int) -> Block | None:
+        """Return the block at ``address`` (or ``None``) without removing it."""
+        return self._blocks.get(address)
+
+    def pop(self, address: int) -> Block | None:
+        """Remove and return the block at ``address`` (or ``None``)."""
+        return self._blocks.pop(address, None)
+
+    def blocks(self) -> list[Block]:
+        """Snapshot list of all blocks currently in the stash."""
+        return list(self._blocks.values())
+
+    def addresses(self) -> list[int]:
+        """Snapshot list of all addresses currently in the stash."""
+        return list(self._blocks.keys())
+
+    def clear(self) -> None:
+        """Remove every block (used when resetting experiments)."""
+        self._blocks.clear()

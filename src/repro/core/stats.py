@@ -1,0 +1,85 @@
+"""Access statistics and the paper's overhead metrics (Equations 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessStats:
+    """Counters accumulated by a :class:`~repro.core.path_oram.PathORAM`.
+
+    The paper's primary metric (Equation 1) is::
+
+        Access_Overhead = (RA + DA) / RA * 2 (L + 1) M / B
+
+    where ``RA`` is the number of real accesses, ``DA`` the number of dummy
+    accesses injected by background eviction, ``M`` the (padded) bucket size
+    and ``B`` the block size.
+    """
+
+    real_accesses: int = 0
+    dummy_accesses: int = 0
+    path_reads: int = 0
+    path_writes: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    stash_occupancy_samples: list[int] = field(default_factory=list)
+    record_occupancy: bool = False
+
+    def record_real_access(self) -> None:
+        self.real_accesses += 1
+
+    def record_dummy_access(self) -> None:
+        self.dummy_accesses += 1
+
+    def record_path_read(self, real_blocks: int) -> None:
+        self.path_reads += 1
+        self.blocks_read += real_blocks
+
+    def record_path_write(self, real_blocks: int) -> None:
+        self.path_writes += 1
+        self.blocks_written += real_blocks
+
+    def sample_stash_occupancy(self, occupancy: int) -> None:
+        if self.record_occupancy:
+            self.stash_occupancy_samples.append(occupancy)
+
+    @property
+    def total_accesses(self) -> int:
+        """Real plus dummy accesses."""
+        return self.real_accesses + self.dummy_accesses
+
+    @property
+    def dummy_ratio(self) -> float:
+        """Dummy accesses per real access (the Figure 7 metric)."""
+        if self.real_accesses == 0:
+            return 0.0
+        return self.dummy_accesses / self.real_accesses
+
+    def access_overhead(self, levels: int, bucket_bits: int, block_bits: int) -> float:
+        """Equation 1: data moved per useful bit, including dummy accesses."""
+        theoretical = 2 * (levels + 1) * bucket_bits / block_bits
+        if self.real_accesses == 0:
+            return theoretical
+        return (self.real_accesses + self.dummy_accesses) / self.real_accesses * theoretical
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.real_accesses += other.real_accesses
+        self.dummy_accesses += other.dummy_accesses
+        self.path_reads += other.path_reads
+        self.path_writes += other.path_writes
+        self.blocks_read += other.blocks_read
+        self.blocks_written += other.blocks_written
+        self.stash_occupancy_samples.extend(other.stash_occupancy_samples)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.real_accesses = 0
+        self.dummy_accesses = 0
+        self.path_reads = 0
+        self.path_writes = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.stash_occupancy_samples.clear()

@@ -1,0 +1,69 @@
+"""Super blocks: statically merging adjacent blocks onto one path (Section 3.2).
+
+A super block is a group of blocks intentionally mapped to the same leaf so
+that one path access returns all of them.  The paper's static merging scheme
+groups adjacent program addresses into fixed-size groups; the group a block
+belongs to never changes, only the group's leaf does.
+
+:class:`SuperBlockMapper` is the pluggable policy interface (the paper lists
+dynamic merging as future work); :class:`StaticSuperBlockMapper` implements
+the static scheme evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+
+class SuperBlockMapper(ABC):
+    """Maps program addresses to super-block group identifiers."""
+
+    @property
+    @abstractmethod
+    def group_size(self) -> int:
+        """Number of blocks per super block (1 = super blocks disabled)."""
+
+    @abstractmethod
+    def group_of(self, address: int) -> int:
+        """Group identifier for a (1-based) program address."""
+
+    @abstractmethod
+    def addresses_in_group(self, group: int) -> list[int]:
+        """All program addresses belonging to ``group`` (may exceed the
+        working set; callers filter against their own address space)."""
+
+    def num_groups(self, num_addresses: int) -> int:
+        """Number of groups needed to cover ``num_addresses`` blocks."""
+        if num_addresses < 1:
+            raise ConfigurationError("num_addresses must be >= 1")
+        return (num_addresses + self.group_size - 1) // self.group_size
+
+
+class StaticSuperBlockMapper(SuperBlockMapper):
+    """The paper's static merging scheme: adjacent addresses, fixed size.
+
+    Addresses are 1-based (0 is the dummy address), so addresses
+    ``1..size`` form group 0, ``size+1..2*size`` form group 1, and so on.
+    """
+
+    def __init__(self, size: int = 1) -> None:
+        if size < 1:
+            raise ConfigurationError("super block size must be >= 1")
+        self._size = size
+
+    @property
+    def group_size(self) -> int:
+        return self._size
+
+    def group_of(self, address: int) -> int:
+        if address < 1:
+            raise ConfigurationError(f"address must be >= 1, got {address}")
+        return (address - 1) // self._size
+
+    def addresses_in_group(self, group: int) -> list[int]:
+        if group < 0:
+            raise ConfigurationError(f"group must be >= 0, got {group}")
+        first = group * self._size + 1
+        return list(range(first, first + self._size))

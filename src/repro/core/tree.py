@@ -1,0 +1,181 @@
+"""ORAM tree geometry and bucket storage back-ends.
+
+The ORAM tree is a full binary tree of ``L + 1`` levels stored in heap
+order: the root is bucket 0 and the children of bucket ``i`` are
+``2i + 1`` and ``2i + 2``.  Leaf ``l`` (``0 <= l < 2^L``) lives in bucket
+``2^L - 1 + l``.
+
+Two storage back-ends are provided:
+
+* :class:`PlainTreeStorage` keeps buckets as Python lists of
+  :class:`~repro.core.types.Block` — the functional back-end used by the
+  design-space sweeps, where only stash behaviour and access counts matter.
+* :class:`EncryptedTreeStorage` keeps buckets as ciphertext produced by a
+  :class:`~repro.crypto.bucket_encryption.BucketCipher`, exercising the full
+  randomized-encryption path of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.bucket_codec import BucketCodec
+from repro.core.config import ORAMConfig
+from repro.core.types import Block
+from repro.crypto.bucket_encryption import BucketCipher
+from repro.errors import ConfigurationError
+
+
+def path_indices(leaf: int, levels: int) -> list[int]:
+    """Bucket indices on the path from the root to ``leaf``, root first.
+
+    Parameters
+    ----------
+    leaf:
+        Leaf label in ``[0, 2^levels)``.
+    levels:
+        Tree depth ``L``.
+    """
+    num_leaves = 1 << levels
+    if not 0 <= leaf < num_leaves:
+        raise ConfigurationError(f"leaf {leaf} out of range [0, {num_leaves})")
+    index = num_leaves - 1 + leaf
+    path = [index]
+    while index > 0:
+        index = (index - 1) // 2
+        path.append(index)
+    path.reverse()
+    return path
+
+
+def common_path_length(leaf_a: int, leaf_b: int, levels: int) -> int:
+    """Number of buckets shared by the paths to two leaves (Section 3.1.3).
+
+    Any two paths share at least the root, so the result is in
+    ``[1, L + 1]``.
+    """
+    path_a = path_indices(leaf_a, levels)
+    path_b = path_indices(leaf_b, levels)
+    shared = 0
+    for bucket_a, bucket_b in zip(path_a, path_b):
+        if bucket_a != bucket_b:
+            break
+        shared += 1
+    return shared
+
+
+def bucket_level(bucket_index: int) -> int:
+    """Level of a bucket in heap order (root = level 0)."""
+    level = 0
+    while bucket_index >= (1 << (level + 1)) - 1:
+        level += 1
+    return level
+
+
+class TreeStorage(ABC):
+    """Abstract bucket store for one Path ORAM tree."""
+
+    def __init__(self, config: ORAMConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> ORAMConfig:
+        return self._config
+
+    @property
+    def num_buckets(self) -> int:
+        return self._config.num_buckets
+
+    def path(self, leaf: int) -> list[int]:
+        """Bucket indices along the path to ``leaf``, root first."""
+        return path_indices(leaf, self._config.levels)
+
+    @abstractmethod
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        """Return the real blocks stored in one bucket."""
+
+    @abstractmethod
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        """Overwrite one bucket with up to ``Z`` real blocks (padded with
+        dummies by the back-end as needed)."""
+
+    def read_path(self, leaf: int) -> list[Block]:
+        """Read and return all real blocks on the path to ``leaf``."""
+        blocks: list[Block] = []
+        for bucket_index in self.path(leaf):
+            blocks.extend(self.read_bucket(bucket_index))
+        return blocks
+
+    def write_path(self, leaf: int, assignments: dict[int, list[Block]]) -> None:
+        """Write back a path.
+
+        ``assignments`` maps bucket index → blocks; buckets on the path that
+        are missing from the mapping are written empty (all dummies), which
+        matches the protocol's requirement that every bucket on the path is
+        re-encrypted and rewritten.
+        """
+        for bucket_index in self.path(leaf):
+            self.write_bucket(bucket_index, assignments.get(bucket_index, []))
+
+    def occupancy(self) -> int:
+        """Total number of real blocks currently stored in the tree."""
+        return sum(len(self.read_bucket(i)) for i in range(self.num_buckets))
+
+
+class PlainTreeStorage(TreeStorage):
+    """Functional bucket store holding :class:`Block` objects directly."""
+
+    def __init__(self, config: ORAMConfig) -> None:
+        super().__init__(config)
+        self._buckets: list[list[Block]] = [[] for _ in range(config.num_buckets)]
+
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        return list(self._buckets[bucket_index])
+
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        if len(blocks) > self._config.z:
+            raise ConfigurationError(
+                f"bucket {bucket_index} overfilled: {len(blocks)} > Z={self._config.z}"
+            )
+        self._buckets[bucket_index] = list(blocks)
+
+
+class EncryptedTreeStorage(TreeStorage):
+    """Bucket store that keeps every bucket as randomized ciphertext.
+
+    Each bucket is serialised by :class:`BucketCodec` (real blocks padded
+    with dummies up to ``Z``) and encrypted by the supplied cipher, so an
+    external observer of this storage sees only ciphertext that changes on
+    every write — the property Section 2.2 requires.
+    """
+
+    def __init__(self, config: ORAMConfig, cipher: BucketCipher) -> None:
+        super().__init__(config)
+        self._cipher = cipher
+        self._codec = BucketCodec(config)
+        self._buckets: list[bytes | None] = [None] * config.num_buckets
+
+    @property
+    def cipher(self) -> BucketCipher:
+        return self._cipher
+
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        ciphertext = self._buckets[bucket_index]
+        if ciphertext is None:
+            # Uninitialised DRAM: treated as an empty bucket (the paper's
+            # integrity layer handles "never written" buckets explicitly).
+            return []
+        plaintexts = self._cipher.decrypt(bucket_index, ciphertext)
+        return self._codec.decode_blocks(plaintexts)
+
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        if len(blocks) > self._config.z:
+            raise ConfigurationError(
+                f"bucket {bucket_index} overfilled: {len(blocks)} > Z={self._config.z}"
+            )
+        plaintexts = self._codec.encode_blocks(blocks)
+        self._buckets[bucket_index] = self._cipher.encrypt(bucket_index, plaintexts)
+
+    def raw_bucket(self, bucket_index: int) -> bytes | None:
+        """Ciphertext of one bucket as an adversary would see it."""
+        return self._buckets[bucket_index]

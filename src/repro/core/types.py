@@ -1,0 +1,70 @@
+"""Fundamental value types shared across the Path ORAM implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+#: Program address reserved for dummy blocks (Section 2.1 of the paper).
+DUMMY_ADDRESS = 0
+
+
+class Operation(Enum):
+    """The two operations a program can request from the ORAM interface."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Block:
+    """One data block (cache line) stored in the ORAM tree or stash.
+
+    Attributes
+    ----------
+    address:
+        Program address ``u`` (1-based; 0 is reserved for dummies).
+    leaf:
+        The leaf label this block is currently mapped to.
+    data:
+        Payload.  Experiments that only measure stash behaviour leave this as
+        ``None``; the encrypted back-end and the processor integration carry
+        real bytes (or, for position-map ORAMs, a list of leaf labels).
+    """
+
+    address: int
+    leaf: int
+    data: Any = None
+
+    def is_dummy(self) -> bool:
+        """True when this block is a dummy placeholder."""
+        return self.address == DUMMY_ADDRESS
+
+
+@dataclass
+class AccessResult:
+    """What a single ORAM access returned to the caller.
+
+    Attributes
+    ----------
+    address:
+        The requested program address.
+    data:
+        The block payload (``None`` for a miss on a never-written address).
+    found:
+        Whether the block existed in the ORAM before the access.
+    dummy_accesses:
+        Number of background-eviction dummy accesses triggered after this
+        real access.
+    sibling_addresses:
+        Addresses of other blocks returned alongside the requested one
+        because they shared its super block (empty unless super blocks are
+        enabled and the caller used the exclusive interface).
+    """
+
+    address: int
+    data: Any = None
+    found: bool = True
+    dummy_accesses: int = 0
+    sibling_addresses: tuple[int, ...] = field(default_factory=tuple)

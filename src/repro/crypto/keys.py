@@ -1,0 +1,51 @@
+"""Processor key material.
+
+The paper picks a fresh random processor key ``K`` at every program start so
+that one-time pads differ across runs (defending against replay of old
+ciphertexts).  :class:`ProcessorKey` models that key; a seed can be supplied
+for reproducible simulations.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ProcessorKey:
+    """A 128-bit secret key held inside the trusted processor.
+
+    Parameters
+    ----------
+    seed:
+        Optional integer seed.  When given, the key bytes are derived
+        deterministically (useful for reproducible experiments); otherwise a
+        fresh random key is drawn, mirroring the paper's per-run key.
+    """
+
+    KEY_BYTES = 16
+
+    def __init__(self, seed: int | None = None) -> None:
+        rng = random.Random(seed)
+        self._key = bytes(rng.getrandbits(8) for _ in range(self.KEY_BYTES))
+        self._seed = seed
+
+    @property
+    def key_bytes(self) -> bytes:
+        """The raw 16-byte key."""
+        return self._key
+
+    @property
+    def seed(self) -> int | None:
+        """The seed used to derive the key, if any."""
+        return self._seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessorKey(seed={self._seed!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessorKey):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)

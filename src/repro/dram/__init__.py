@@ -1,0 +1,37 @@
+"""A DDR3-like DRAM timing model and ORAM-tree memory placement strategies.
+
+The paper evaluates Path ORAM on commodity DRAM with DRAMSim2 (Section 4.2,
+Figure 11).  DRAMSim2 is not available here, so :mod:`repro.dram` provides a
+timing model that captures the effects Figure 11 depends on:
+
+* row-buffer hits versus misses (activate / precharge / CAS latencies),
+* bank-level parallelism within a channel,
+* channel-level parallelism and data-bus occupancy,
+* the paper's address interleaving (adjacent addresses differ first in
+  channel, then column, then bank, then row), and
+* an amortised refresh penalty.
+
+On top of the timing model, :mod:`repro.dram.placement` implements the
+naive (heap-order) layout of the ORAM tree and the paper's subtree packing
+(Section 3.3.4), and :mod:`repro.dram.oram_dram` measures the latency of a
+full ORAM (or hierarchical ORAM) access under each.
+"""
+
+from repro.dram.address_mapping import AddressMapping, DRAMLocation
+from repro.dram.config import DDR3Timing, DRAMConfig
+from repro.dram.dram_model import DRAMModel
+from repro.dram.oram_dram import HierarchyLatencyResult, ORAMDRAMSimulator
+from repro.dram.placement import NaivePlacement, SubtreePlacement, TreePlacement
+
+__all__ = [
+    "DDR3Timing",
+    "DRAMConfig",
+    "AddressMapping",
+    "DRAMLocation",
+    "DRAMModel",
+    "TreePlacement",
+    "NaivePlacement",
+    "SubtreePlacement",
+    "ORAMDRAMSimulator",
+    "HierarchyLatencyResult",
+]

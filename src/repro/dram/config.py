@@ -1,0 +1,114 @@
+"""DRAM organisation and DDR3 timing parameters.
+
+Defaults follow the paper's DRAMSim2 setup: the default ``DDR3_micron``
+device with 16-bit width, 1024 columns per row, 8 banks and 16384 rows per
+chip, assembled into a 64-bit channel (so a row buffer holds
+``1024 columns x 8 bytes = 8 KB`` per bank).  Timings are expressed in DRAM
+clock cycles (DDR3-1600: 800 MHz memory clock), matching Figure 11's
+"latency in DRAM cycles" axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DDR3Timing:
+    """DDR3 timing parameters in DRAM clock cycles."""
+
+    t_rcd: int = 10
+    """RAS-to-CAS delay: activate a row before a column access."""
+
+    t_rp: int = 10
+    """Row precharge time: close a row before activating another."""
+
+    t_cas: int = 10
+    """CAS latency: column access to first data."""
+
+    t_burst: int = 4
+    """Data-bus occupancy of one burst (BL8 on a DDR bus = 4 clock cycles)."""
+
+    t_ras: int = 24
+    """Minimum time a row must stay open after activation."""
+
+    t_wr: int = 12
+    """Write recovery time before the row may be precharged."""
+
+    t_rfc: int = 88
+    """Refresh cycle time."""
+
+    t_refi: int = 6240
+    """Average refresh interval."""
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_rp", "t_cas", "t_burst", "t_ras", "t_wr", "t_rfc", "t_refi"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """Extra cycles a row-buffer miss pays over a hit (precharge + activate)."""
+        return self.t_rp + self.t_rcd
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the DRAM is unavailable due to refresh."""
+        return self.t_rfc / self.t_refi
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Organisation of the DRAM system backing the ORAM tree."""
+
+    channels: int = 1
+    banks_per_channel: int = 8
+    rows_per_bank: int = 16384
+    columns_per_row: int = 1024
+    device_width_bits: int = 16
+    bus_width_bits: int = 64
+    burst_length: int = 8
+    timing: DDR3Timing = DDR3Timing()
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigurationError("channels must be >= 1")
+        if self.banks_per_channel < 1:
+            raise ConfigurationError("banks_per_channel must be >= 1")
+        if self.rows_per_bank < 1 or self.columns_per_row < 1:
+            raise ConfigurationError("rows and columns must be >= 1")
+        if self.bus_width_bits % 8 != 0:
+            raise ConfigurationError("bus_width_bits must be a multiple of 8")
+
+    @property
+    def access_granularity_bytes(self) -> int:
+        """Bytes transferred by one burst (64 bytes for a 64-bit DDR3 BL8 bus)."""
+        return self.bus_width_bits // 8 * self.burst_length
+
+    @property
+    def row_buffer_bytes(self) -> int:
+        """Row buffer size per bank: columns * bus width."""
+        return self.columns_per_row * self.bus_width_bits // 8
+
+    @property
+    def channel_capacity_bytes(self) -> int:
+        """Capacity of one channel."""
+        return self.banks_per_channel * self.rows_per_bank * self.row_buffer_bytes
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Total DRAM capacity across all channels."""
+        return self.channels * self.channel_capacity_bytes
+
+    @property
+    def subtree_node_bytes(self) -> int:
+        """The paper's subtree node size: row-buffer size times channel count
+        (Section 3.3.4: ``ch x 128 x 64`` bytes for the default device)."""
+        return self.row_buffer_bytes * self.channels
+
+    def peak_cycles_for_bytes(self, nbytes: int) -> float:
+        """Cycles to move ``nbytes`` at peak bandwidth across all channels."""
+        bursts = nbytes / self.access_granularity_bytes
+        return bursts * self.timing.t_burst / self.channels

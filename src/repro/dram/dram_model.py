@@ -1,0 +1,151 @@
+"""A transaction-level DRAM timing model.
+
+The model tracks, per bank, the currently open row and the earliest cycle
+at which the bank can accept a new column command, and, per channel, the
+earliest cycle at which the shared data bus is free.  A transaction pays
+
+* ``tCAS`` when it hits the open row,
+* ``tRP + tRCD + tCAS`` when it misses (precharge the old row, activate the
+  new one), plus ``tRAS``/``tWR`` constraints on how early the precharge may
+  happen,
+
+and then occupies the channel data bus for ``tBURST`` cycles.  Refresh is
+charged as an amortised slowdown factor (``tRFC / tREFI``).
+
+This is intentionally simpler than DRAMSim2 (no command-bus contention, no
+tFAW/tRRD) but reproduces the first-order effects Figure 11 depends on:
+row-buffer locality and channel-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address_mapping import AddressMapping, DRAMLocation
+from repro.dram.config import DRAMConfig
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    ready_cycle: float = 0.0
+    activate_cycle: float = 0.0
+    write_recovery_until: float = 0.0
+
+
+@dataclass
+class DRAMStats:
+    """Counters accumulated across transactions."""
+
+    transactions: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.row_hits / self.transactions
+
+
+@dataclass
+class DRAMModel:
+    """Stateful DRAM timing simulator.
+
+    Use :meth:`enqueue` to submit burst-sized transactions in program order
+    and :meth:`elapsed_cycles` (or the return of :meth:`run`) to read the
+    completion time.  :meth:`reset` clears bank and bus state between
+    measurements.
+    """
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def __post_init__(self) -> None:
+        self._mapping = AddressMapping(self.config)
+        self.reset()
+
+    @property
+    def mapping(self) -> AddressMapping:
+        return self._mapping
+
+    @property
+    def stats(self) -> DRAMStats:
+        return self._stats
+
+    def reset(self) -> None:
+        """Clear all bank, bus and statistics state."""
+        cfg = self.config
+        self._banks = [
+            [_BankState() for _ in range(cfg.banks_per_channel)] for _ in range(cfg.channels)
+        ]
+        self._bus_free = [0.0] * cfg.channels
+        self._stats = DRAMStats()
+        self._finish_cycle = 0.0
+
+    # ------------------------------------------------------------------
+    # Transaction processing
+    # ------------------------------------------------------------------
+    def enqueue(self, location: DRAMLocation, is_write: bool = False, not_before: float = 0.0) -> float:
+        """Issue one burst transaction; returns its data completion cycle.
+
+        Column commands to an open row pipeline at ``tBURST`` (= tCCD)
+        intervals, so back-to-back row hits stream at full bus bandwidth; a
+        row miss pays precharge + activate before its CAS and respects
+        ``tRAS`` since the previous activate.
+        """
+        timing = self.config.timing
+        bank = self._banks[location.channel][location.bank]
+        command_cycle = max(bank.ready_cycle, not_before)
+
+        if bank.open_row == location.row:
+            self._stats.row_hits += 1
+        else:
+            self._stats.row_misses += 1
+            if bank.open_row is not None:
+                # Precharge may not start before tRAS after the previous
+                # activate, nor before write recovery of the last write.
+                command_cycle = max(
+                    command_cycle,
+                    bank.activate_cycle + timing.t_ras,
+                    bank.write_recovery_until,
+                )
+                command_cycle += timing.t_rp
+            command_cycle += timing.t_rcd
+            bank.activate_cycle = command_cycle - timing.t_rcd
+            bank.open_row = location.row
+
+        data_ready = command_cycle + timing.t_cas
+        data_start = max(data_ready, self._bus_free[location.channel])
+        data_end = data_start + timing.t_burst
+        self._bus_free[location.channel] = data_end
+        # Column commands pipeline at one burst (tCCD) per command, for both
+        # reads and writes; the write-recovery time only delays a later
+        # precharge of this bank, not the next column command.
+        bank.ready_cycle = command_cycle + timing.t_burst
+        if is_write:
+            bank.write_recovery_until = data_end + timing.t_wr
+        self._stats.transactions += 1
+        self._finish_cycle = max(self._finish_cycle, data_end)
+        return data_end
+
+    def enqueue_address(self, byte_address: int, is_write: bool = False) -> float:
+        """Issue a transaction for the burst containing ``byte_address``."""
+        return self.enqueue(self._mapping.locate(byte_address), is_write=is_write)
+
+    def enqueue_range(self, byte_address: int, length: int, is_write: bool = False) -> float:
+        """Issue transactions for a contiguous byte range; returns the last
+        completion cycle."""
+        end = self._finish_cycle
+        for location in self._mapping.split_range(byte_address, length):
+            end = self.enqueue(location, is_write=is_write)
+        return end
+
+    def elapsed_cycles(self, include_refresh: bool = True) -> float:
+        """Completion cycle of the last transaction issued since reset."""
+        if not include_refresh:
+            return self._finish_cycle
+        return self._finish_cycle * (1.0 + self.config.timing.refresh_overhead)
+
+    def peak_cycles_for_bytes(self, nbytes: int) -> float:
+        """Idealised latency at peak bandwidth (the 'theoretical' bar)."""
+        return self.config.peak_cycles_for_bytes(nbytes)

@@ -1,0 +1,161 @@
+"""Latency of Path ORAM accesses on the DRAM model (Figure 11, Table 2).
+
+:class:`ORAMDRAMSimulator` measures, for a single ORAM or a hierarchy, the
+DRAM-cycle latency of a complete access: read every bucket on the accessed
+path of every ORAM (position-map ORAMs first, data ORAM last — the
+optimised order of Section 3.3.2), then write every one of them back.  The
+cycle at which the data ORAM's path read completes is the *return data*
+latency; the cycle at which the last write-back burst finishes is the
+*finish access* latency.
+
+The ``theoretical`` reference point assumes the DRAM always runs at peak
+bandwidth, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.dram.config import DRAMConfig
+from repro.dram.dram_model import DRAMModel
+from repro.dram.placement import NaivePlacement, SubtreePlacement, TreePlacement
+
+PlacementFactory = Callable[[ORAMConfig, DRAMConfig, int], TreePlacement]
+
+
+def naive_placement_factory(oram: ORAMConfig, dram: DRAMConfig, base: int) -> TreePlacement:
+    """Factory building :class:`NaivePlacement` (heap-order array)."""
+    return NaivePlacement(oram, base_address=base)
+
+
+def subtree_placement_factory(oram: ORAMConfig, dram: DRAMConfig, base: int) -> TreePlacement:
+    """Factory building :class:`SubtreePlacement` (the paper's layout)."""
+    return SubtreePlacement(oram, dram_config=dram, base_address=base)
+
+
+@dataclass(frozen=True)
+class HierarchyLatencyResult:
+    """Average latencies of one hierarchical ORAM access on DRAM."""
+
+    return_data_cycles: float
+    finish_access_cycles: float
+    theoretical_cycles: float
+    row_hit_rate: float
+    bytes_moved: int
+
+    def cpu_cycles(self, num_orams: int, cpu_per_dram_cycle: int = 4,
+                   decryption_latency_cycles: int = 80) -> tuple[float, float]:
+        """Convert to CPU cycles per the paper's model:
+        ``latency_CPU = 4 x latency_DRAM + H x latency_decryption``.
+
+        Returns ``(return_data, finish_access)`` in CPU cycles.
+        """
+        extra = num_orams * decryption_latency_cycles
+        return (
+            self.return_data_cycles * cpu_per_dram_cycle + extra,
+            self.finish_access_cycles * cpu_per_dram_cycle + extra,
+        )
+
+
+class ORAMDRAMSimulator:
+    """Measures ORAM access latency on the DRAM timing model."""
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig,
+        dram_config: DRAMConfig | None = None,
+        placement_factory: PlacementFactory = subtree_placement_factory,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._dram_config = dram_config if dram_config is not None else DRAMConfig()
+        self._rng = rng if rng is not None else random.Random()
+        self._model = DRAMModel(self._dram_config)
+        self._placements = self._build_placements(placement_factory)
+
+    def _build_placements(self, factory: PlacementFactory) -> list[TreePlacement]:
+        placements: list[TreePlacement] = []
+        base = 0
+        # The data ORAM occupies the lowest addresses, position-map ORAMs above it.
+        for config in self._hierarchy.oram_configs:
+            placement = factory(config, self._dram_config, base)
+            placements.append(placement)
+            base += placement.total_bytes()
+        return placements
+
+    @property
+    def placements(self) -> Sequence[TreePlacement]:
+        return tuple(self._placements)
+
+    @property
+    def dram_model(self) -> DRAMModel:
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def bytes_per_access(self) -> int:
+        """Bytes read plus written by one full hierarchical access."""
+        total = 0
+        for config in self._hierarchy.oram_configs:
+            total += 2 * config.num_levels * config.bucket_bytes
+        return total
+
+    def theoretical_cycles(self) -> float:
+        """Latency at peak DRAM bandwidth (the paper's 'theoretical' bars)."""
+        return self._dram_config.peak_cycles_for_bytes(self.bytes_per_access())
+
+    def simulate_access(self, leaves: Sequence[int] | None = None) -> tuple[float, float]:
+        """Simulate one access; returns ``(return_data, finish_access)`` cycles.
+
+        ``leaves`` optionally fixes the accessed leaf per ORAM (data ORAM
+        first); otherwise uniformly random leaves are drawn.
+        """
+        configs = self._hierarchy.oram_configs
+        if leaves is None:
+            leaves = [self._rng.randrange(cfg.num_leaves) for cfg in configs]
+        self._model.reset()
+
+        # Read phase: position-map ORAMs first (smallest to largest is the
+        # paper's ORAM_H .. ORAM_1 order), data ORAM last.
+        read_order = list(range(len(configs) - 1, -1, -1))
+        path_chunks: dict[int, list[tuple[int, int]]] = {}
+        for index in read_order:
+            placement = self._placements[index]
+            chunks = placement.path_addresses(leaves[index])
+            path_chunks[index] = chunks
+            for address, length in chunks:
+                self._model.enqueue_range(address, length, is_write=False)
+        return_data = self._model.elapsed_cycles()
+
+        # Write phase: same paths, re-encrypted and written back.
+        for index in read_order:
+            for address, length in path_chunks[index]:
+                self._model.enqueue_range(address, length, is_write=True)
+        finish_access = self._model.elapsed_cycles()
+        return return_data, finish_access
+
+    def measure(self, num_accesses: int = 50) -> HierarchyLatencyResult:
+        """Average latency over ``num_accesses`` random path accesses."""
+        if num_accesses < 1:
+            raise ValueError("num_accesses must be >= 1")
+        total_return = 0.0
+        total_finish = 0.0
+        hits = 0
+        transactions = 0
+        for _ in range(num_accesses):
+            return_data, finish_access = self.simulate_access()
+            total_return += return_data
+            total_finish += finish_access
+            hits += self._model.stats.row_hits
+            transactions += self._model.stats.transactions
+        return HierarchyLatencyResult(
+            return_data_cycles=total_return / num_accesses,
+            finish_access_cycles=total_finish / num_accesses,
+            theoretical_cycles=self.theoretical_cycles(),
+            row_hit_rate=hits / transactions if transactions else 0.0,
+            bytes_moved=self.bytes_per_access(),
+        )

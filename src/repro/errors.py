@@ -1,0 +1,30 @@
+"""Exception hierarchy shared by every repro subpackage."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class StashOverflowError(ReproError):
+    """The Path ORAM stash exceeded its capacity.
+
+    With background eviction enabled this should never be raised; it exists
+    so that experiments *without* background eviction (e.g. the Figure 3
+    stash-occupancy study) can detect and report Path ORAM failure.
+    """
+
+
+class IntegrityError(ReproError):
+    """Integrity verification failed: a hash along the path did not match."""
+
+
+class EncryptionError(ReproError):
+    """A bucket could not be encrypted or decrypted (wrong key or size)."""
+
+
+class TraceFormatError(ReproError):
+    """A memory trace record is malformed."""

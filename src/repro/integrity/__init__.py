@@ -1,0 +1,27 @@
+"""Integrity verification for Path ORAM (Section 5).
+
+Two schemes are implemented:
+
+* :mod:`repro.integrity.merkle` — the strawman: a standard Merkle tree with
+  one leaf hash per ORAM data block.  Correct but expensive for Path ORAM:
+  verifying one ORAM access means checking ``Z (L+1)`` blocks, i.e.
+  ``Z (L+1)^2`` hashes.
+* :mod:`repro.integrity.auth_tree` — the paper's scheme: an authentication
+  tree mirroring the ORAM tree, with per-bucket child-valid flags so the
+  tree never needs initialisation.  One ORAM access reads at most ``L``
+  sibling hashes and writes ``L`` hashes back.
+
+:mod:`repro.integrity.storage` integrates the authentication tree with the
+encrypted tree storage so a :class:`~repro.core.path_oram.PathORAM` can run
+with transparent integrity verification.
+"""
+
+from repro.integrity.auth_tree import PathORAMAuthenticator
+from repro.integrity.merkle import MerkleTree
+from repro.integrity.storage import IntegrityVerifiedStorage
+
+__all__ = [
+    "MerkleTree",
+    "PathORAMAuthenticator",
+    "IntegrityVerifiedStorage",
+]

@@ -1,0 +1,105 @@
+"""A standard Merkle tree (the strawman integrity scheme of Section 5).
+
+Leaves hold the hash of one payload (an ORAM data block or bucket); every
+internal node hashes the concatenation of its children.  The root is kept
+on chip; verifying a leaf requires its authentication path (one sibling
+hash per level).
+
+The class also exposes the cost accounting the paper uses to argue the
+strawman is too expensive for Path ORAM: verifying an ORAM access that
+touches ``Z (L+1)`` blocks requires ``Z (L+1)`` Merkle paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError, IntegrityError
+
+HASH_BYTES = 16  # the paper stores 128-bit hashes
+
+
+def _hash(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()[:HASH_BYTES]
+
+
+class MerkleTree:
+    """A fixed-capacity binary Merkle tree with updatable leaves."""
+
+    def __init__(self, num_leaves: int, initial_payloads: Sequence[bytes] | None = None) -> None:
+        if num_leaves < 1:
+            raise ConfigurationError("num_leaves must be >= 1")
+        self._num_leaves = 1 << max(0, math.ceil(math.log2(num_leaves)))
+        self._levels = int(math.log2(self._num_leaves))
+        # Heap layout: nodes[1] is the root, children of i are 2i and 2i+1.
+        empty_leaf = _hash(b"")
+        self._nodes = [b""] * (2 * self._num_leaves)
+        for leaf in range(self._num_leaves):
+            payload = b""
+            if initial_payloads is not None and leaf < len(initial_payloads):
+                payload = initial_payloads[leaf]
+            self._nodes[self._num_leaves + leaf] = _hash(payload) if payload else empty_leaf
+        for index in range(self._num_leaves - 1, 0, -1):
+            self._nodes[index] = _hash(self._nodes[2 * index] + self._nodes[2 * index + 1])
+
+    @property
+    def num_leaves(self) -> int:
+        """Capacity (rounded up to a power of two)."""
+        return self._num_leaves
+
+    @property
+    def levels(self) -> int:
+        """Tree height (hashes per authentication path)."""
+        return self._levels
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root hash."""
+        return self._nodes[1]
+
+    def _check_leaf(self, leaf_index: int) -> None:
+        if not 0 <= leaf_index < self._num_leaves:
+            raise ConfigurationError(f"leaf index {leaf_index} out of range")
+
+    def proof(self, leaf_index: int) -> list[bytes]:
+        """Sibling hashes from the leaf to the root (the authentication path)."""
+        self._check_leaf(leaf_index)
+        node = self._num_leaves + leaf_index
+        siblings = []
+        while node > 1:
+            siblings.append(self._nodes[node ^ 1])
+            node //= 2
+        return siblings
+
+    def verify(self, leaf_index: int, payload: bytes, proof: Sequence[bytes],
+               root: bytes | None = None) -> None:
+        """Check a payload against a proof; raises :class:`IntegrityError` on mismatch."""
+        self._check_leaf(leaf_index)
+        expected_root = root if root is not None else self.root
+        current = _hash(payload) if payload else _hash(b"")
+        node = self._num_leaves + leaf_index
+        for sibling in proof:
+            if node % 2 == 0:
+                current = _hash(current + sibling)
+            else:
+                current = _hash(sibling + current)
+            node //= 2
+        if current != expected_root:
+            raise IntegrityError(f"Merkle verification failed for leaf {leaf_index}")
+
+    def update(self, leaf_index: int, payload: bytes) -> None:
+        """Replace a leaf payload and refresh hashes up to the root."""
+        self._check_leaf(leaf_index)
+        node = self._num_leaves + leaf_index
+        self._nodes[node] = _hash(payload) if payload else _hash(b"")
+        node //= 2
+        while node >= 1:
+            self._nodes[node] = _hash(self._nodes[2 * node] + self._nodes[2 * node + 1])
+            node //= 2
+
+    def hashes_per_oram_access(self, z: int, oram_levels: int) -> int:
+        """Hashes touched to verify one Path ORAM access with this strawman:
+        ``Z (L+1)`` blocks, each needing a ``log2(num_leaves)``-hash path."""
+        return z * (oram_levels + 1) * self._levels

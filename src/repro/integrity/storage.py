@@ -1,0 +1,79 @@
+"""Tree storage with transparent integrity verification.
+
+:class:`IntegrityVerifiedStorage` wraps an
+:class:`~repro.core.tree.EncryptedTreeStorage` (or any storage exposing raw
+bucket bytes) and a :class:`~repro.integrity.auth_tree.PathORAMAuthenticator`
+so that every path read is verified against the on-chip root hash and every
+path write-back refreshes the authentication tree — the integration
+described in Section 5 and Figure 13.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ORAMConfig
+from repro.core.tree import EncryptedTreeStorage, TreeStorage
+from repro.core.types import Block
+from repro.crypto.bucket_encryption import BucketCipher
+from repro.integrity.auth_tree import PathORAMAuthenticator
+
+
+class IntegrityVerifiedStorage(TreeStorage):
+    """Encrypted bucket storage with authentication-tree verification.
+
+    Raises :class:`~repro.errors.IntegrityError` from ``read_path`` if any
+    bucket on the path has been tampered with (or replayed) since the ORAM
+    interface last wrote it.
+    """
+
+    def __init__(self, config: ORAMConfig, cipher: BucketCipher,
+                 authenticator: PathORAMAuthenticator | None = None) -> None:
+        super().__init__(config)
+        self._inner = EncryptedTreeStorage(config, cipher)
+        self._auth = authenticator if authenticator is not None else PathORAMAuthenticator(config)
+
+    @property
+    def authenticator(self) -> PathORAMAuthenticator:
+        return self._auth
+
+    @property
+    def inner(self) -> EncryptedTreeStorage:
+        return self._inner
+
+    # ------------------------------------------------------------------
+    # TreeStorage interface
+    # ------------------------------------------------------------------
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        # Individual bucket reads (used by invariant checks) bypass
+        # verification; the ORAM protocol always reads whole paths.
+        return self._inner.read_bucket(bucket_index)
+
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        self._inner.write_bucket(bucket_index, blocks)
+
+    def read_path(self, leaf: int) -> list[Block]:
+        """Verify then decrypt every bucket on the path to ``leaf``."""
+        path = self.path(leaf)
+        raw = [self._inner.raw_bucket(index) or b"" for index in path]
+        self._auth.verify_path(leaf, raw)
+        blocks: list[Block] = []
+        for index in path:
+            blocks.extend(self._inner.read_bucket(index))
+        return blocks
+
+    def write_path(self, leaf: int, assignments: dict[int, list[Block]]) -> None:
+        """Re-encrypt and write the path, then refresh the authentication tree."""
+        self._inner.write_path(leaf, assignments)
+        path = self.path(leaf)
+        raw = [self._inner.raw_bucket(index) or b"" for index in path]
+        self._auth.update_path(leaf, raw)
+
+    # ------------------------------------------------------------------
+    # Adversarial hooks for tests
+    # ------------------------------------------------------------------
+    def tamper_with_bucket(self, bucket_index: int, ciphertext: bytes) -> None:
+        """Overwrite a bucket's ciphertext behind the ORAM's back."""
+        self._inner._buckets[bucket_index] = ciphertext  # noqa: SLF001 - test hook
+
+    def replay_bucket(self, bucket_index: int, old_ciphertext: bytes) -> None:
+        """Replay a previously captured ciphertext (freshness attack)."""
+        self.tamper_with_bucket(bucket_index, old_ciphertext)

@@ -1,0 +1,37 @@
+"""Trace-driven secure-processor model (Section 4.3).
+
+The paper connects Path ORAM to a simple in-order core (Table 1) with
+exclusive L1/L2 caches, simulated with SESC over SPEC06-int traces.  This
+package provides the equivalent substrate:
+
+* :mod:`repro.processor.config` — the Table 1 core and cache parameters.
+* :mod:`repro.processor.cache` — set-associative caches and the exclusive
+  two-level hierarchy.
+* :mod:`repro.processor.memory` — memory back-ends: an insecure DRAM
+  baseline and the Path ORAM back-end (with super-block prefetching and
+  background-eviction busy time).
+* :mod:`repro.processor.trace` — the memory-trace record format.
+* :mod:`repro.processor.simulator` — the in-order timing model that runs a
+  trace against a cache hierarchy and memory back-end.
+"""
+
+from repro.processor.cache import CacheHierarchy, SetAssociativeCache
+from repro.processor.config import CacheConfig, CoreConfig, ProcessorConfig
+from repro.processor.memory import DRAMBackend, MemoryBackend, ORAMBackend
+from repro.processor.simulator import ProcessorSimulator, SimulationResult
+from repro.processor.trace import MemoryTrace, TraceRecord
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "ProcessorConfig",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "MemoryBackend",
+    "DRAMBackend",
+    "ORAMBackend",
+    "ProcessorSimulator",
+    "SimulationResult",
+    "TraceRecord",
+    "MemoryTrace",
+]

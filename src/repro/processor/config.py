@@ -1,0 +1,92 @@
+"""Processor configuration (Table 1 of the paper).
+
+The evaluated core is in-order and single-issue with fixed per-class
+instruction latencies, a 32 KB 4-way L1, a 1 MB 16-way L2 (both exclusive)
+and 128-byte cache lines.  The CPU clock is four times the DDR3 clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """In-order core latencies (cycles per instruction class)."""
+
+    int_arith_cycles: int = 1
+    int_mult_cycles: int = 4
+    int_div_cycles: int = 12
+    fp_arith_cycles: int = 2
+    fp_mult_cycles: int = 4
+    fp_div_cycles: int = 10
+
+    #: Average cycles charged per non-memory instruction by the trace-driven
+    #: model (the trace records only memory operations, so the instruction
+    #: mix between them is charged at this average rate).
+    average_non_memory_cpi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.average_non_memory_cpi <= 0:
+            raise ConfigurationError("average_non_memory_cpi must be positive")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level of on-chip cache."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 128
+    hit_cycles: int = 1
+    miss_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache dimensions must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ConfigurationError(
+                "cache size must be a multiple of ways * line_bytes "
+                f"({self.size_bytes} % {self.ways * self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """The full Table 1 configuration."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, ways=4, line_bytes=128, hit_cycles=2, miss_cycles=1
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=1024 * 1024, ways=16, line_bytes=128, hit_cycles=10, miss_cycles=4
+        )
+    )
+
+    #: CPU clock cycles per DRAM clock cycle (the paper assumes 4x DDR3).
+    cpu_cycles_per_dram_cycle: int = 4
+
+    def __post_init__(self) -> None:
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ConfigurationError("L1 and L2 must share a line size")
+        if self.cpu_cycles_per_dram_cycle < 1:
+            raise ConfigurationError("cpu_cycles_per_dram_cycle must be >= 1")
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes
+
+
+def table1_processor() -> ProcessorConfig:
+    """The exact configuration of Table 1."""
+    return ProcessorConfig()

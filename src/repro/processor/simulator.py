@@ -1,0 +1,124 @@
+"""The in-order, trace-driven processor timing model (Table 1, Figure 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.processor.cache import CacheHierarchy
+from repro.processor.config import ProcessorConfig
+from repro.processor.memory import MemoryBackend
+from repro.processor.trace import MemoryTrace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one trace on one processor configuration."""
+
+    backend_name: str
+    total_cycles: float
+    instructions: int
+    memory_operations: int
+    llc_misses: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+    oram_dummy_accesses: int = 0
+    average_memory_latency: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    def slowdown_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time ratio versus a baseline run of the same trace."""
+        if baseline.total_cycles == 0:
+            return float("inf")
+        return self.total_cycles / baseline.total_cycles
+
+
+class ProcessorSimulator:
+    """Replays a memory trace against caches and a memory back-end.
+
+    The core is in-order and single-issue: non-memory instructions retire at
+    the configured average CPI, every memory operation goes through the
+    exclusive L1/L2 hierarchy, and last-level misses stall the core until
+    the back-end returns the line.
+    """
+
+    def __init__(self, config: ProcessorConfig, backend: MemoryBackend) -> None:
+        self._config = config
+        self._backend = backend
+        self._hierarchy = CacheHierarchy(config.l1, config.l2)
+
+    @property
+    def config(self) -> ProcessorConfig:
+        return self._config
+
+    @property
+    def backend(self) -> MemoryBackend:
+        return self._backend
+
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        return self._hierarchy
+
+    def run(self, trace: MemoryTrace, warmup_operations: int = 0) -> SimulationResult:
+        """Replay ``trace`` and return aggregate timing statistics.
+
+        The first ``warmup_operations`` memory operations warm the cache
+        hierarchy (standing in for the paper's 1-billion-instruction
+        fast-forward) and are excluded from the reported cycle and
+        instruction counts; the memory back-end is not consulted during
+        warm-up, so warming is cheap even for the ORAM back-end.
+        """
+        core = self._config.core
+        line_bytes = self._config.line_bytes
+        cycles = 0.0
+        instructions = 0
+        memory_operations = 0
+        llc_misses = 0
+        warmup_cycles = 0.0
+        warmup_instructions = 0
+
+        for record in trace:
+            in_warmup = memory_operations < warmup_operations
+            if memory_operations == warmup_operations and warmup_operations > 0:
+                warmup_cycles = cycles
+                warmup_instructions = instructions
+            cycles += record.gap_instructions * core.average_non_memory_cpi
+            instructions += record.gap_instructions + 1
+            memory_operations += 1
+
+            cache_cycles, llc_miss, writebacks = self._hierarchy.access(
+                record.address, record.is_write
+            )
+            cycles += cache_cycles
+
+            if in_warmup:
+                continue
+
+            if llc_miss:
+                llc_misses += 1
+                line_address = self._hierarchy.line_address(record.address)
+                fetch = self._backend.fetch_line(line_address, cycles)
+                cycles += fetch.latency_cycles
+                for prefetched_line in fetch.prefetched_lines:
+                    writebacks.extend(
+                        self._hierarchy.fill_prefetched(prefetched_line * line_bytes)
+                    )
+
+            for victim in writebacks:
+                self._backend.writeback_line(victim.line_address, victim.dirty, cycles)
+
+        stats = self._backend.stats
+        return SimulationResult(
+            backend_name=self._backend.name,
+            total_cycles=cycles - warmup_cycles,
+            instructions=instructions - warmup_instructions,
+            memory_operations=memory_operations,
+            llc_misses=llc_misses,
+            l1_miss_rate=self._hierarchy.l1.stats.miss_rate,
+            l2_miss_rate=self._hierarchy.l2.stats.miss_rate,
+            oram_dummy_accesses=stats.oram_dummy_accesses,
+            average_memory_latency=stats.average_fetch_latency,
+        )

@@ -1,0 +1,57 @@
+"""Memory-trace record format for the trace-driven processor model.
+
+The paper generates instruction/memory traces with SESC's fast-forward mode
+and replays them through a timing model.  We use the same structure: a
+trace is a sequence of memory operations, each annotated with the number of
+non-memory instructions executed since the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TraceFormatError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory operation in a program trace.
+
+    Attributes
+    ----------
+    gap_instructions:
+        Non-memory instructions executed since the previous memory
+        operation (charged at the core's average CPI).
+    address:
+        Byte address accessed.
+    is_write:
+        True for a store, False for a load.
+    """
+
+    gap_instructions: int
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap_instructions < 0:
+            raise TraceFormatError("gap_instructions must be non-negative")
+        if self.address < 0:
+            raise TraceFormatError("address must be non-negative")
+
+
+MemoryTrace = Iterable[TraceRecord]
+
+
+def validate_trace(trace: MemoryTrace) -> Iterator[TraceRecord]:
+    """Yield records from ``trace``, raising on malformed entries."""
+    for index, record in enumerate(trace):
+        if not isinstance(record, TraceRecord):
+            raise TraceFormatError(f"trace entry {index} is not a TraceRecord")
+        yield record
+
+
+def trace_footprint_bytes(trace: list[TraceRecord], line_bytes: int = 128) -> int:
+    """Unique cache-line footprint of a trace (for sizing the ORAM)."""
+    lines = {record.address // line_bytes for record in trace}
+    return len(lines) * line_bytes

@@ -1,0 +1,36 @@
+"""Memory-trace generators.
+
+:mod:`repro.workloads.synthetic` provides elementary access patterns
+(uniform random, sequential scan, strided, pointer chase, hot/cold) used by
+unit tests and the design-space sweeps.
+
+:mod:`repro.workloads.spec_like` provides parameterised benchmark profiles
+standing in for the SPEC06-int subset the paper evaluates (reference inputs
+and the SESC tracer are unavailable offline); each profile is tuned to a
+regime — memory-bound pointer chasing, streaming, compute-bound — so that
+the relative behaviour in Figure 12 is preserved.
+"""
+
+from repro.workloads.spec_like import (
+    SPEC_PROFILES,
+    BenchmarkProfile,
+    generate_benchmark_trace,
+)
+from repro.workloads.synthetic import (
+    hotspot_trace,
+    pointer_chase_trace,
+    random_access_trace,
+    sequential_scan_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "random_access_trace",
+    "sequential_scan_trace",
+    "strided_trace",
+    "pointer_chase_trace",
+    "hotspot_trace",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "generate_benchmark_trace",
+]

@@ -1,0 +1,156 @@
+"""Elementary synthetic memory traces.
+
+All generators return a list of :class:`~repro.processor.trace.TraceRecord`
+and take an explicit :class:`random.Random` so experiments are reproducible.
+Addresses are byte addresses within ``[0, working_set_bytes)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.processor.trace import TraceRecord
+
+
+def _check_args(num_ops: int, working_set_bytes: int) -> None:
+    if num_ops < 1:
+        raise ConfigurationError("num_ops must be >= 1")
+    if working_set_bytes < 8:
+        raise ConfigurationError("working_set_bytes must be >= 8")
+
+
+def random_access_trace(
+    num_ops: int,
+    working_set_bytes: int,
+    rng: random.Random,
+    write_fraction: float = 0.3,
+    gap_instructions: int = 5,
+    access_bytes: int = 8,
+) -> list[TraceRecord]:
+    """Uniformly random accesses over the working set (worst-case locality)."""
+    _check_args(num_ops, working_set_bytes)
+    slots = working_set_bytes // access_bytes
+    return [
+        TraceRecord(
+            gap_instructions=gap_instructions,
+            address=rng.randrange(slots) * access_bytes,
+            is_write=rng.random() < write_fraction,
+        )
+        for _ in range(num_ops)
+    ]
+
+
+def sequential_scan_trace(
+    num_ops: int,
+    working_set_bytes: int,
+    rng: random.Random,
+    write_fraction: float = 0.0,
+    gap_instructions: int = 5,
+    access_bytes: int = 8,
+) -> list[TraceRecord]:
+    """A repeated linear scan of the working set (streaming, best locality)."""
+    _check_args(num_ops, working_set_bytes)
+    slots = working_set_bytes // access_bytes
+    return [
+        TraceRecord(
+            gap_instructions=gap_instructions,
+            address=(i % slots) * access_bytes,
+            is_write=rng.random() < write_fraction,
+        )
+        for i in range(num_ops)
+    ]
+
+
+def strided_trace(
+    num_ops: int,
+    working_set_bytes: int,
+    rng: random.Random,
+    stride_bytes: int = 256,
+    write_fraction: float = 0.0,
+    gap_instructions: int = 5,
+) -> list[TraceRecord]:
+    """A strided sweep (e.g. column-major matrix traversal)."""
+    _check_args(num_ops, working_set_bytes)
+    if stride_bytes < 1:
+        raise ConfigurationError("stride_bytes must be >= 1")
+    records = []
+    address = 0
+    for _ in range(num_ops):
+        records.append(
+            TraceRecord(
+                gap_instructions=gap_instructions,
+                address=address,
+                is_write=rng.random() < write_fraction,
+            )
+        )
+        address = (address + stride_bytes) % working_set_bytes
+    return records
+
+
+def pointer_chase_trace(
+    num_ops: int,
+    working_set_bytes: int,
+    rng: random.Random,
+    node_bytes: int = 64,
+    write_fraction: float = 0.1,
+    gap_instructions: int = 3,
+) -> list[TraceRecord]:
+    """Follow a random single-cycle permutation of nodes (linked-list walk).
+
+    This is the canonical memory-latency-bound pattern (mcf-like): no
+    spatial locality and a dependent load on the critical path.  The
+    permutation is a single cycle covering every node, so a long enough
+    trace touches the whole working set.
+    """
+    _check_args(num_ops, working_set_bytes)
+    num_nodes = max(2, working_set_bytes // node_bytes)
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    successor = [0] * num_nodes
+    for position, node in enumerate(order):
+        successor[node] = order[(position + 1) % num_nodes]
+    records = []
+    node = order[0]
+    for _ in range(num_ops):
+        records.append(
+            TraceRecord(
+                gap_instructions=gap_instructions,
+                address=node * node_bytes,
+                is_write=rng.random() < write_fraction,
+            )
+        )
+        node = successor[node]
+    return records
+
+
+def hotspot_trace(
+    num_ops: int,
+    working_set_bytes: int,
+    rng: random.Random,
+    hot_fraction: float = 0.9,
+    hot_set_bytes: int = 64 * 1024,
+    write_fraction: float = 0.3,
+    gap_instructions: int = 8,
+    access_bytes: int = 8,
+) -> list[TraceRecord]:
+    """Mostly-hot accesses to a small region with occasional cold misses."""
+    _check_args(num_ops, working_set_bytes)
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigurationError("hot_fraction must be in [0, 1]")
+    hot_slots = max(1, min(hot_set_bytes, working_set_bytes) // access_bytes)
+    cold_slots = max(1, working_set_bytes // access_bytes)
+    records = []
+    for _ in range(num_ops):
+        if rng.random() < hot_fraction:
+            address = rng.randrange(hot_slots) * access_bytes
+        else:
+            address = rng.randrange(cold_slots) * access_bytes
+        records.append(
+            TraceRecord(
+                gap_instructions=gap_instructions,
+                address=address,
+                is_write=rng.random() < write_fraction,
+            )
+        )
+    return records

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_config() -> ORAMConfig:
+    """A small, fast Path ORAM configuration used across many tests."""
+    return ORAMConfig(
+        working_set_blocks=256,
+        utilization=0.5,
+        z=4,
+        block_bytes=32,
+        stash_capacity=120,
+        name="test-small",
+    )
+
+
+@pytest.fixture
+def tiny_config() -> ORAMConfig:
+    """An even smaller configuration for exhaustive / property tests."""
+    return ORAMConfig(
+        working_set_blocks=32,
+        utilization=0.5,
+        z=2,
+        block_bytes=16,
+        stash_capacity=60,
+        name="test-tiny",
+    )
+
+
+@pytest.fixture
+def small_hierarchy(small_config: ORAMConfig) -> HierarchyConfig:
+    """A hierarchy with at least two position-map ORAMs."""
+    return HierarchyConfig(
+        data_oram=small_config,
+        position_map_block_bytes=8,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=16,
+        name="test-hierarchy",
+    )

@@ -1,0 +1,81 @@
+"""Common-path-length attack tests (Section 3.1.3, Figure 4)."""
+
+import random
+
+import pytest
+
+from repro.attacks.cpl import (
+    average_common_path_length,
+    cpl_distribution,
+    expected_common_path_length,
+    run_cpl_attack_series,
+    run_cpl_experiment,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTheory:
+    def test_distribution_sums_to_one(self):
+        for levels in (1, 3, 5, 10):
+            assert sum(cpl_distribution(levels).values()) == pytest.approx(1.0)
+
+    def test_distribution_probabilities(self):
+        dist = cpl_distribution(5)
+        assert dist[1] == pytest.approx(0.5)
+        assert dist[2] == pytest.approx(0.25)
+        assert dist[6] == pytest.approx(2 ** -5)
+
+    def test_expected_value_formula(self):
+        # E[CPL] = 2 - 2^-L; for L=5 this is 1.96875 (the paper's 1.969).
+        assert expected_common_path_length(5) == pytest.approx(1.96875)
+        dist = cpl_distribution(5)
+        mean = sum(length * probability for length, probability in dist.items())
+        assert mean == pytest.approx(expected_common_path_length(5))
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_common_path_length(0)
+        with pytest.raises(ConfigurationError):
+            cpl_distribution(0)
+
+
+class TestMeasurement:
+    def test_average_cpl_of_uniform_paths_matches_expectation(self):
+        rng = random.Random(1)
+        levels = 5
+        trace = [rng.randrange(1 << levels) for _ in range(20000)]
+        average = average_common_path_length(trace, levels)
+        assert average == pytest.approx(expected_common_path_length(levels), abs=0.03)
+
+    def test_needs_two_accesses(self):
+        with pytest.raises(ConfigurationError):
+            average_common_path_length([3], 5)
+
+
+class TestAttack:
+    def test_background_eviction_is_indistinguishable(self):
+        result = run_cpl_experiment("background", num_accesses=3000, rng=random.Random(2))
+        assert result.average_cpl == pytest.approx(result.expected_cpl, abs=0.06)
+        assert abs(result.deviation) < 0.08
+
+    def test_insecure_eviction_is_detected(self):
+        result = run_cpl_experiment("insecure", num_accesses=3000, rng=random.Random(3))
+        # Figure 4: the insecure scheme's eviction accesses are correlated
+        # with the access that triggered them — their CPL (~1.8 vs 1.97)
+        # falls clearly below the uniform expectation.
+        assert result.num_trigger_pairs > 200
+        assert result.deviation > 0.08
+
+    def test_attack_separates_the_two_schemes(self):
+        secure = run_cpl_experiment("background", num_accesses=3000, rng=random.Random(4))
+        insecure = run_cpl_experiment("insecure", num_accesses=3000, rng=random.Random(4))
+        assert insecure.trigger_pair_cpl < secure.trigger_pair_cpl - 0.05
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cpl_experiment("magic")
+
+    def test_series_runs_requested_number_of_experiments(self):
+        results = run_cpl_attack_series("background", num_experiments=3, num_accesses=400)
+        assert len(results) == 3
+        assert all(r.scheme == "background" for r in results)

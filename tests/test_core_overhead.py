@@ -1,0 +1,116 @@
+"""Analytic overhead and storage model tests (Section 2.4, Equations 1-2)."""
+
+import pytest
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.overhead import (
+    bytes_moved_per_access,
+    hierarchy_measured_access_overhead,
+    hierarchy_overhead_breakdown,
+    hierarchy_theoretical_access_overhead,
+    measured_access_overhead,
+    onchip_storage,
+    single_oram_onchip_storage,
+    theoretical_access_overhead,
+)
+from repro.core.presets import base_oram, dz3pb32, dz4pb32
+from repro.core.stats import AccessStats
+
+
+class TestSingleORAMOverhead:
+    def test_theoretical_formula(self):
+        config = ORAMConfig(working_set_blocks=1 << 16, z=4, block_bytes=128)
+        expected = 2 * (config.levels + 1) * config.padded_bucket_bits / config.block_bits
+        assert theoretical_access_overhead(config) == pytest.approx(expected)
+
+    def test_bytes_moved_per_access(self):
+        config = ORAMConfig(working_set_blocks=1 << 14, z=3, block_bytes=128)
+        assert bytes_moved_per_access(config) == 2 * (config.levels + 1) * config.bucket_bytes
+
+    def test_measured_overhead_scales_with_dummy_ratio(self):
+        config = ORAMConfig(working_set_blocks=1 << 14, z=3, block_bytes=128)
+        stats = AccessStats(real_accesses=1000, dummy_accesses=500)
+        assert measured_access_overhead(config, stats) == pytest.approx(
+            1.5 * theoretical_access_overhead(config)
+        )
+
+    def test_no_accesses_gives_theoretical(self):
+        config = ORAMConfig(working_set_blocks=1 << 14, z=3)
+        assert measured_access_overhead(config, AccessStats()) == pytest.approx(
+            theoretical_access_overhead(config)
+        )
+
+    def test_overhead_grows_with_z(self):
+        base = ORAMConfig(working_set_blocks=1 << 16, z=2, block_bytes=128)
+        bigger = base.with_updates(z=4)
+        assert theoretical_access_overhead(bigger) > theoretical_access_overhead(base)
+
+    def test_overhead_grows_roughly_linearly_with_log_capacity(self):
+        # Figure 9: latency grows linearly as capacity grows exponentially.
+        overheads = []
+        for exponent in (12, 14, 16, 18):
+            config = ORAMConfig(working_set_blocks=1 << exponent, z=3, block_bytes=128)
+            overheads.append(theoretical_access_overhead(config))
+        deltas = [b - a for a, b in zip(overheads, overheads[1:])]
+        assert all(d > 0 for d in deltas)
+        assert max(deltas) / min(deltas) < 1.6
+
+
+class TestHierarchyOverhead:
+    def test_breakdown_sums_to_total(self):
+        hierarchy = dz3pb32(1 / 1024)
+        breakdown = hierarchy_overhead_breakdown(hierarchy)
+        assert sum(breakdown) == pytest.approx(hierarchy_theoretical_access_overhead(hierarchy))
+        assert len(breakdown) == hierarchy.num_orams
+
+    def test_data_oram_dominates_breakdown(self):
+        hierarchy = dz3pb32(1 / 64)
+        breakdown = hierarchy_overhead_breakdown(hierarchy)
+        assert breakdown[0] == max(breakdown)
+
+    def test_measured_overhead_with_dummy_rounds(self):
+        hierarchy = dz3pb32(1 / 1024)
+        theoretical = hierarchy_theoretical_access_overhead(hierarchy)
+        assert hierarchy_measured_access_overhead(hierarchy, 100, 25) == pytest.approx(
+            1.25 * theoretical
+        )
+        assert hierarchy_measured_access_overhead(hierarchy, 0, 0) == pytest.approx(theoretical)
+
+    def test_dz3pb32_beats_baseline_at_paper_scale(self):
+        # The headline claim: the optimised configuration reduces ORAM
+        # access overhead by roughly 40% relative to baseORAM.
+        base = hierarchy_theoretical_access_overhead(base_oram(1.0))
+        optimised = hierarchy_theoretical_access_overhead(dz3pb32(1.0))
+        reduction = 1 - optimised / base
+        assert 0.25 < reduction < 0.60
+
+    def test_dz4_worse_than_dz3(self):
+        assert hierarchy_theoretical_access_overhead(dz4pb32(1.0)) > (
+            hierarchy_theoretical_access_overhead(dz3pb32(1.0))
+        )
+
+
+class TestOnChipStorage:
+    def test_storage_fields_positive(self):
+        storage = onchip_storage(dz3pb32(1.0))
+        assert storage.stash_bytes > 0
+        assert storage.position_map_bytes > 0
+        assert storage.stash_kilobytes == pytest.approx(storage.stash_bytes / 1024)
+
+    def test_paper_scale_position_map_below_limit(self):
+        storage = onchip_storage(dz3pb32(1.0))
+        assert storage.position_map_kilobytes <= 200
+
+    def test_table2_stash_sizes_match_paper_magnitude(self):
+        # Table 2: baseORAM stash 77 KB, DZ3Pb32 stash 47 KB.
+        base = onchip_storage(base_oram(1.0)).stash_kilobytes
+        optimised = onchip_storage(dz3pb32(1.0)).stash_kilobytes
+        assert 60 < base < 95
+        assert 35 < optimised < 60
+        assert optimised < base
+
+    def test_single_oram_storage(self):
+        config = ORAMConfig(working_set_blocks=1 << 14, z=4, stash_capacity=200)
+        storage = single_oram_onchip_storage(config)
+        assert storage.stash_bytes == (config.stash_bits + 7) // 8
+        assert storage.position_map_bytes == (config.position_map_bits + 7) // 8

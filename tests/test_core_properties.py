@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on the ORAM core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ORAMConfig
+from repro.core.path_oram import PathORAM, leaf_common_path_length
+from repro.core.super_block import StaticSuperBlockMapper
+from repro.core.tree import common_path_length, path_indices
+from repro.crypto.prf import Prf
+
+_SLOW = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestTreeProperties:
+    @given(levels=st.integers(min_value=1, max_value=12), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_cpl_fast_equals_tree_walk(self, levels, data):
+        leaf_a = data.draw(st.integers(min_value=0, max_value=(1 << levels) - 1))
+        leaf_b = data.draw(st.integers(min_value=0, max_value=(1 << levels) - 1))
+        assert common_path_length(leaf_a, leaf_b, levels) == leaf_common_path_length(
+            leaf_a, leaf_b, levels
+        )
+
+    @given(levels=st.integers(min_value=1, max_value=12), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_cpl_is_symmetric_and_bounded(self, levels, data):
+        leaf_a = data.draw(st.integers(min_value=0, max_value=(1 << levels) - 1))
+        leaf_b = data.draw(st.integers(min_value=0, max_value=(1 << levels) - 1))
+        cpl = common_path_length(leaf_a, leaf_b, levels)
+        assert cpl == common_path_length(leaf_b, leaf_a, levels)
+        assert 1 <= cpl <= levels + 1
+        if leaf_a == leaf_b:
+            assert cpl == levels + 1
+
+    @given(levels=st.integers(min_value=1, max_value=14), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_path_starts_at_root_and_ends_at_leaf(self, levels, data):
+        leaf = data.draw(st.integers(min_value=0, max_value=(1 << levels) - 1))
+        path = path_indices(leaf, levels)
+        assert path[0] == 0
+        assert path[-1] == (1 << levels) - 1 + leaf
+        assert len(path) == levels + 1
+
+
+class TestConfigProperties:
+    @given(
+        working_set=st.integers(min_value=1, max_value=1 << 20),
+        z=st.integers(min_value=1, max_value=8),
+        utilization=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_tree_always_large_enough(self, working_set, z, utilization):
+        config = ORAMConfig(
+            working_set_blocks=working_set, utilization=utilization, z=z,
+            stash_capacity=None,
+        )
+        assert config.capacity_blocks >= config.total_blocks >= config.working_set_blocks
+        assert config.bucket_bytes * 8 >= config.bucket_bits
+        assert config.bucket_bytes % config.bucket_align_bytes == 0
+
+    @given(working_set=st.integers(min_value=2, max_value=1 << 18))
+    @settings(max_examples=100, deadline=None)
+    def test_levels_monotone_in_working_set(self, working_set):
+        smaller = ORAMConfig(working_set_blocks=working_set // 2 + 1, z=4, stash_capacity=None)
+        larger = ORAMConfig(working_set_blocks=working_set, z=4, stash_capacity=None)
+        assert larger.levels >= smaller.levels
+
+
+class TestSuperBlockProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=16),
+        address=st.integers(min_value=1, max_value=1 << 20),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_group_membership_is_consistent(self, size, address):
+        mapper = StaticSuperBlockMapper(size)
+        group = mapper.group_of(address)
+        members = mapper.addresses_in_group(group)
+        assert address in members
+        assert len(members) == size
+        assert all(mapper.group_of(member) == group for member in members)
+
+
+class TestPrfProperties:
+    @given(
+        seed_a=st.tuples(st.integers(min_value=0, max_value=1 << 40),
+                         st.integers(min_value=0, max_value=1 << 40)),
+        seed_b=st.tuples(st.integers(min_value=0, max_value=1 << 40),
+                         st.integers(min_value=0, max_value=1 << 40)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_seeds_distinct_outputs(self, seed_a, seed_b):
+        prf = Prf(b"property-test-key")
+        if seed_a != seed_b:
+            assert prf.block(*seed_a) != prf.block(*seed_b)
+        else:
+            assert prf.block(*seed_a) == prf.block(*seed_b)
+
+
+class TestORAMProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.booleans(),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+    )
+    @_SLOW
+    def test_oram_behaves_like_a_dictionary(self, seed, operations):
+        """The ORAM must be functionally equivalent to a plain key/value map."""
+        config = ORAMConfig(working_set_blocks=64, z=4, block_bytes=16, stash_capacity=80)
+        oram = PathORAM(config, rng=random.Random(seed))
+        reference: dict[int, int] = {}
+        for address, is_write, value in operations:
+            if is_write:
+                reference[address] = value
+                oram.write(address, value)
+            else:
+                result = oram.read(address)
+                assert result.data == reference.get(address)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SLOW
+    def test_block_conservation(self, seed):
+        """Blocks are never lost or duplicated: stash + tree holds exactly the
+        set of addresses ever touched."""
+        config = ORAMConfig(working_set_blocks=32, z=2, block_bytes=16, stash_capacity=60)
+        oram = PathORAM(config, rng=random.Random(seed))
+        rng = random.Random(seed + 1)
+        touched = set()
+        for _ in range(150):
+            address = rng.randrange(1, 33)
+            touched.add(address)
+            oram.access(address)
+        stored = set(oram.stash_addresses())
+        for bucket_index in range(config.num_buckets):
+            for block in oram.storage.read_bucket(bucket_index):
+                assert block.address not in stored, "duplicate block"
+                stored.add(block.address)
+        assert stored == touched

@@ -1,0 +1,188 @@
+"""Tests for the position map, stash, block types and bucket codec."""
+
+import random
+
+import pytest
+
+from repro.core.bucket_codec import BucketCodec
+from repro.core.config import ORAMConfig
+from repro.core.position_map import PositionMap
+from repro.core.stash import Stash
+from repro.core.stats import AccessStats
+from repro.core.types import DUMMY_ADDRESS, Block, Operation
+from repro.errors import ConfigurationError, EncryptionError, StashOverflowError
+
+
+class TestBlock:
+    def test_dummy_detection(self):
+        assert Block(address=DUMMY_ADDRESS, leaf=0).is_dummy()
+        assert not Block(address=1, leaf=0).is_dummy()
+
+    def test_operation_enum_values(self):
+        assert Operation.READ.value == "read"
+        assert Operation.WRITE.value == "write"
+
+
+class TestPositionMap:
+    def test_initial_leaves_in_range(self, rng):
+        pmap = PositionMap(100, 16, rng=rng)
+        assert all(0 <= pmap.lookup(i) < 16 for i in range(100))
+
+    def test_remap_returns_old_and_new(self, rng):
+        pmap = PositionMap(10, 8, rng=rng)
+        old = pmap.lookup(3)
+        returned_old, new = pmap.remap(3)
+        assert returned_old == old
+        assert pmap.lookup(3) == new
+
+    def test_assign_and_lookup(self, rng):
+        pmap = PositionMap(10, 8, rng=rng)
+        pmap.assign(2, 5)
+        assert pmap.lookup(2) == 5
+
+    def test_assign_out_of_range_rejected(self, rng):
+        pmap = PositionMap(10, 8, rng=rng)
+        with pytest.raises(ConfigurationError):
+            pmap.assign(0, 8)
+
+    def test_initial_distribution_is_roughly_uniform(self):
+        pmap = PositionMap(8000, 8, rng=random.Random(1))
+        counts = [0] * 8
+        for i in range(8000):
+            counts[pmap.lookup(i)] += 1
+        assert min(counts) > 800 and max(counts) < 1200
+
+    def test_size_bits(self, rng):
+        pmap = PositionMap(100, 16, rng=rng)
+        assert pmap.size_bits(4) == 400
+
+    def test_invalid_construction(self, rng):
+        with pytest.raises(ConfigurationError):
+            PositionMap(0, 4, rng=rng)
+        with pytest.raises(ConfigurationError):
+            PositionMap(4, 0, rng=rng)
+
+
+class TestStash:
+    def test_add_get_pop(self):
+        stash = Stash()
+        stash.add(Block(address=3, leaf=1, data="x"))
+        assert 3 in stash
+        assert stash.get(3).data == "x"
+        assert stash.pop(3).address == 3
+        assert 3 not in stash
+
+    def test_dummy_blocks_ignored(self):
+        stash = Stash()
+        stash.add(Block(address=DUMMY_ADDRESS, leaf=0))
+        assert len(stash) == 0
+
+    def test_overwrite_same_address_does_not_grow(self):
+        stash = Stash(capacity=1)
+        stash.add(Block(address=1, leaf=0, data="a"))
+        stash.add(Block(address=1, leaf=3, data="b"))
+        assert len(stash) == 1
+        assert stash.get(1).data == "b"
+
+    def test_capacity_enforced(self):
+        stash = Stash(capacity=2)
+        stash.add(Block(address=1, leaf=0))
+        stash.add(Block(address=2, leaf=0))
+        with pytest.raises(StashOverflowError):
+            stash.add(Block(address=3, leaf=0))
+
+    def test_max_occupancy_tracks_high_water_mark(self):
+        stash = Stash()
+        for address in range(1, 6):
+            stash.add(Block(address=address, leaf=0))
+        for address in range(1, 4):
+            stash.pop(address)
+        assert stash.occupancy == 2
+        assert stash.max_occupancy == 5
+
+    def test_addresses_and_blocks_snapshots(self):
+        stash = Stash()
+        for address in (4, 7, 9):
+            stash.add(Block(address=address, leaf=0))
+        assert sorted(stash.addresses()) == [4, 7, 9]
+        assert {b.address for b in stash.blocks()} == {4, 7, 9}
+
+    def test_clear(self):
+        stash = Stash()
+        stash.add(Block(address=1, leaf=0))
+        stash.clear()
+        assert len(stash) == 0
+
+
+class TestAccessStats:
+    def test_dummy_ratio(self):
+        stats = AccessStats()
+        for _ in range(10):
+            stats.record_real_access()
+        for _ in range(5):
+            stats.record_dummy_access()
+        assert stats.dummy_ratio == 0.5
+        assert stats.total_accesses == 15
+
+    def test_access_overhead_equation(self):
+        # Equation 1: (RA+DA)/RA * 2(L+1)M/B
+        stats = AccessStats(real_accesses=100, dummy_accesses=50)
+        overhead = stats.access_overhead(levels=20, bucket_bits=4096, block_bits=1024)
+        assert overhead == pytest.approx(1.5 * 2 * 21 * 4)
+
+    def test_occupancy_sampling_respects_flag(self):
+        stats = AccessStats()
+        stats.sample_stash_occupancy(5)
+        assert stats.stash_occupancy_samples == []
+        stats.record_occupancy = True
+        stats.sample_stash_occupancy(5)
+        assert stats.stash_occupancy_samples == [5]
+
+    def test_merge_and_reset(self):
+        a = AccessStats(real_accesses=1, dummy_accesses=2, path_reads=3)
+        b = AccessStats(real_accesses=10, dummy_accesses=20, path_reads=30)
+        a.merge(b)
+        assert a.real_accesses == 11 and a.dummy_accesses == 22 and a.path_reads == 33
+        a.reset()
+        assert a.total_accesses == 0
+
+
+class TestBucketCodec:
+    @pytest.fixture
+    def codec(self, small_config):
+        return BucketCodec(small_config)
+
+    def test_roundtrip_bytes_payload(self, codec):
+        block = Block(address=5, leaf=3, data=b"hello world")
+        decoded = codec.decode_block(codec.encode_block(block))
+        assert decoded.address == 5 and decoded.leaf == 3 and decoded.data == b"hello world"
+
+    def test_roundtrip_label_payload(self, codec):
+        block = Block(address=9, leaf=1, data=[4, 8, 15, 16, 23, 42])
+        decoded = codec.decode_block(codec.encode_block(block))
+        assert decoded.data == [4, 8, 15, 16, 23, 42]
+
+    def test_roundtrip_none_payload(self, codec):
+        block = Block(address=2, leaf=0, data=None)
+        decoded = codec.decode_block(codec.encode_block(block))
+        assert decoded.data is None
+
+    def test_dummy_encodes_and_decodes_to_none(self, codec):
+        assert codec.decode_block(codec.encode_block(None)) is None
+
+    def test_bucket_padded_to_z_slots(self, codec, small_config):
+        slots = codec.encode_blocks([Block(address=1, leaf=0, data=b"x")])
+        assert len(slots) == small_config.z
+
+    def test_decode_blocks_drops_dummies(self, codec):
+        slots = codec.encode_blocks([Block(address=1, leaf=0, data=b"x")])
+        blocks = codec.decode_blocks(slots)
+        assert len(blocks) == 1 and blocks[0].address == 1
+
+    def test_unsupported_payload_rejected(self, codec):
+        with pytest.raises(EncryptionError):
+            codec.encode_block(Block(address=1, leaf=0, data={"not": "supported"}))
+
+    def test_truncated_plaintext_rejected(self, codec):
+        with pytest.raises(EncryptionError):
+            codec.decode_block(b"short")

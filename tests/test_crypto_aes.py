@@ -1,0 +1,66 @@
+"""AES-128 block cipher tests, including the FIPS-197 vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.errors import EncryptionError
+
+
+class TestFIPSVectors:
+    def test_fips197_appendix_b(self):
+        # FIPS-197 Appendix B worked example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        # FIPS-197 Appendix C.1 example vector.
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1_decrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES128(key).decrypt_block(ciphertext) == expected
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt_roundtrip(self):
+        cipher = AES128(b"0123456789abcdef")
+        for value in range(16):
+            block = bytes([value]) * 16
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_give_different_ciphertexts(self):
+        block = b"A" * 16
+        c1 = AES128(b"k" * 16).encrypt_block(block)
+        c2 = AES128(b"K" * 16).encrypt_block(block)
+        assert c1 != c2
+
+    def test_encryption_is_deterministic(self):
+        cipher = AES128(b"x" * 16)
+        assert cipher.encrypt_block(b"y" * 16) == cipher.encrypt_block(b"y" * 16)
+
+    def test_avalanche_single_bit_change(self):
+        cipher = AES128(b"k" * 16)
+        base = cipher.encrypt_block(b"\x00" * 16)
+        flipped = cipher.encrypt_block(b"\x01" + b"\x00" * 15)
+        differing_bits = sum(bin(a ^ b).count("1") for a, b in zip(base, flipped))
+        assert differing_bits > 30
+
+
+class TestErrors:
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(EncryptionError):
+            AES128(b"short")
+
+    def test_wrong_block_size_rejected(self):
+        cipher = AES128(b"0123456789abcdef")
+        with pytest.raises(EncryptionError):
+            cipher.encrypt_block(b"too-short")
+        with pytest.raises(EncryptionError):
+            cipher.decrypt_block(b"x" * 17)

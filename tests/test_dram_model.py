@@ -1,0 +1,136 @@
+"""DRAM configuration, address mapping and timing-model tests."""
+
+import pytest
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.config import DDR3Timing, DRAMConfig
+from repro.dram.dram_model import DRAMModel
+from repro.errors import ConfigurationError
+
+
+class TestDRAMConfig:
+    def test_default_geometry_matches_paper(self):
+        config = DRAMConfig()
+        # DDR3_micron: 1024 columns x 64-bit bus => 8 KB row buffer.
+        assert config.row_buffer_bytes == 8 * 1024
+        assert config.access_granularity_bytes == 64
+        assert config.banks_per_channel == 8
+        assert config.rows_per_bank == 16384
+
+    def test_subtree_node_scales_with_channels(self):
+        assert DRAMConfig(channels=1).subtree_node_bytes == 8 * 1024
+        assert DRAMConfig(channels=4).subtree_node_bytes == 32 * 1024
+
+    def test_capacity(self):
+        config = DRAMConfig(channels=2)
+        assert config.total_capacity_bytes == 2 * config.channel_capacity_bytes
+
+    def test_peak_cycles_scale_inverse_with_channels(self):
+        one = DRAMConfig(channels=1).peak_cycles_for_bytes(1 << 20)
+        four = DRAMConfig(channels=4).peak_cycles_for_bytes(1 << 20)
+        assert one == pytest.approx(4 * four)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DDR3Timing(t_cas=0)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(channels=0)
+
+    def test_refresh_overhead_small(self):
+        assert 0.0 < DDR3Timing().refresh_overhead < 0.05
+
+
+class TestAddressMapping:
+    def test_adjacent_bursts_rotate_channels_first(self):
+        mapping = AddressMapping(DRAMConfig(channels=4))
+        locations = [mapping.locate(i * 64) for i in range(8)]
+        assert [loc.channel for loc in locations] == [0, 1, 2, 3, 0, 1, 2, 3]
+        # Same column group until all channels consumed.
+        assert locations[0].column == locations[3].column
+        assert locations[4].column == locations[0].column + 1
+
+    def test_columns_before_banks_before_rows(self):
+        config = DRAMConfig(channels=1)
+        mapping = AddressMapping(config)
+        bursts_per_row = config.row_buffer_bytes // 64
+        same_row = mapping.locate((bursts_per_row - 1) * 64)
+        next_bank = mapping.locate(bursts_per_row * 64)
+        assert same_row.bank == 0 and same_row.row == 0
+        assert next_bank.bank == 1 and next_bank.row == 0
+        next_row = mapping.locate(bursts_per_row * config.banks_per_channel * 64)
+        assert next_row.bank == 0 and next_row.row == 1
+
+    def test_split_range_covers_whole_span(self):
+        mapping = AddressMapping(DRAMConfig(channels=2))
+        locations = mapping.split_range(100, 300)
+        # Bytes 100..399 touch bursts 1..6 (64-byte granularity).
+        assert len(locations) == 6
+
+    def test_split_empty_range(self):
+        mapping = AddressMapping(DRAMConfig())
+        assert mapping.split_range(0, 0) == []
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(DRAMConfig()).locate(-1)
+
+
+class TestDRAMModelTiming:
+    def test_row_hit_faster_than_row_miss(self):
+        model = DRAMModel(DRAMConfig(channels=1))
+        first = model.enqueue_address(0)  # row miss (cold)
+        second = model.enqueue_address(64) - first  # row hit, pipelined
+        assert second < first
+
+    def test_row_hits_stream_at_burst_rate(self):
+        config = DRAMConfig(channels=1)
+        model = DRAMModel(config)
+        model.enqueue_address(0)
+        completions = [model.enqueue_address(i * 64) for i in range(1, 33)]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(gap == pytest.approx(config.timing.t_burst) for gap in gaps)
+
+    def test_row_conflict_pays_precharge_and_activate(self):
+        config = DRAMConfig(channels=1)
+        model = DRAMModel(config)
+        bursts_per_row = config.row_buffer_bytes // 64
+        rows_stride = bursts_per_row * config.banks_per_channel * 64
+        model.enqueue_address(0)
+        same_bank_other_row = model.enqueue_address(rows_stride)
+        model.reset()
+        model.enqueue_address(0)
+        same_row = model.enqueue_address(64)
+        assert same_bank_other_row > same_row + config.timing.row_miss_penalty - 1
+
+    def test_channels_overlap_transfers(self):
+        nbytes = 64 * 256
+        single = DRAMModel(DRAMConfig(channels=1))
+        single.enqueue_range(0, nbytes)
+        quad = DRAMModel(DRAMConfig(channels=4))
+        quad.enqueue_range(0, nbytes)
+        assert quad.elapsed_cycles() < single.elapsed_cycles() / 2
+
+    def test_latency_never_beats_peak_bandwidth(self):
+        config = DRAMConfig(channels=2)
+        model = DRAMModel(config)
+        nbytes = 64 * 512
+        model.enqueue_range(0, nbytes)
+        assert model.elapsed_cycles(include_refresh=False) >= config.peak_cycles_for_bytes(nbytes)
+
+    def test_stats_track_hits_and_misses(self):
+        model = DRAMModel(DRAMConfig(channels=1))
+        model.enqueue_range(0, 64 * 16)
+        stats = model.stats
+        assert stats.transactions == 16
+        assert stats.row_misses >= 1
+        assert stats.row_hits == stats.transactions - stats.row_misses
+        assert 0.0 <= stats.row_hit_rate <= 1.0
+
+    def test_reset_clears_state(self):
+        model = DRAMModel(DRAMConfig())
+        model.enqueue_range(0, 1024)
+        model.reset()
+        assert model.elapsed_cycles() == 0
+        assert model.stats.transactions == 0

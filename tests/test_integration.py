@@ -1,0 +1,113 @@
+"""End-to-end integration tests across subsystems."""
+
+import random
+
+import pytest
+
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.path_oram import PathORAM
+from repro.crypto.bucket_encryption import CounterBucketCipher, StrawmanBucketCipher
+from repro.crypto.keys import ProcessorKey
+from repro.integrity.storage import IntegrityVerifiedStorage
+from repro.processor.config import table1_processor
+from repro.processor.memory import DRAMBackend, ORAMBackend
+from repro.processor.simulator import ProcessorSimulator
+from repro.workloads.spec_like import SPEC_PROFILES, generate_benchmark_trace
+from repro.workloads.synthetic import hotspot_trace
+
+
+class TestEncryptedIntegrityVerifiedHierarchy:
+    def test_full_stack_hierarchical_oram(self):
+        """Encrypted buckets + authentication tree + recursion + background
+        eviction, all at once, must still behave like a key/value store."""
+        key = ProcessorKey(seed=42)
+        data = ORAMConfig(working_set_blocks=256, z=4, block_bytes=32, stash_capacity=120)
+        hierarchy = HierarchyConfig(
+            data_oram=data, position_map_block_bytes=8, position_map_z=3,
+            onchip_position_map_limit_bytes=64,
+        )
+
+        def storage_factory(config):
+            return IntegrityVerifiedStorage(config, CounterBucketCipher(key))
+
+        oram = HierarchicalPathORAM(hierarchy, rng=random.Random(1),
+                                    storage_factory=storage_factory)
+        rng = random.Random(2)
+        reference = {}
+        for step in range(600):
+            address = rng.randrange(1, 257)
+            if rng.random() < 0.6:
+                reference[address] = step
+                oram.write(address, step)
+            else:
+                result = oram.read(address)
+                assert result.data == reference.get(address)
+        # Integrity machinery actually ran on every ORAM of the hierarchy.
+        for underlying in oram.orams:
+            assert underlying.storage.authenticator.counters.verifications > 0
+
+    def test_strawman_cipher_also_works_end_to_end(self):
+        key = ProcessorKey(seed=9)
+        config = ORAMConfig(working_set_blocks=64, z=4, block_bytes=32,
+                            stash_capacity=80, encryption="strawman")
+        from repro.core.tree import EncryptedTreeStorage
+
+        storage = EncryptedTreeStorage(config, StrawmanBucketCipher(key, rng=random.Random(3)))
+        oram = PathORAM(config, storage=storage, rng=random.Random(4))
+        for address in range(1, 65):
+            oram.write(address, bytes([address]) * 2)
+        for address in range(1, 65):
+            assert oram.read(address).data == bytes([address]) * 2
+
+
+class TestSecureProcessorEndToEnd:
+    def test_oram_processor_runs_spec_like_trace(self):
+        processor = table1_processor()
+        profile = SPEC_PROFILES["gcc"]
+        trace = generate_benchmark_trace(profile, 2500, random.Random(5))
+
+        data = ORAMConfig(working_set_blocks=1 << 14, z=4, block_bytes=128,
+                          stash_capacity=150, super_block_size=2)
+        hierarchy = HierarchyConfig(data_oram=data, position_map_block_bytes=32,
+                                    onchip_position_map_limit_bytes=2048)
+        oram = HierarchicalPathORAM(hierarchy, rng=random.Random(6))
+        backend = ORAMBackend(ORAMMemoryInterface(oram),
+                              return_data_cycles=1892, finish_access_cycles=3132)
+        result = ProcessorSimulator(processor, backend).run(trace, warmup_operations=500)
+        assert result.total_cycles > 0
+        assert result.backend_name == "PathORAM"
+        assert result.llc_misses > 0
+
+    def test_oram_slowdown_decreases_with_cache_friendliness(self):
+        """A cache-resident workload suffers far less ORAM slowdown than a
+        thrashing one — the core qualitative claim behind Figure 12."""
+        processor = table1_processor()
+        rng = random.Random(7)
+        friendly = hotspot_trace(6000, 1 << 22, rng, hot_fraction=0.995,
+                                 hot_set_bytes=64 * 1024)
+        hostile = hotspot_trace(6000, 1 << 22, rng, hot_fraction=0.05,
+                                hot_set_bytes=64 * 1024)
+
+        def run(trace, backend_factory):
+            return ProcessorSimulator(processor, backend_factory()).run(
+                trace, warmup_operations=3000
+            )
+
+        def oram_backend():
+            data = ORAMConfig(working_set_blocks=1 << 15, z=4, block_bytes=128,
+                              stash_capacity=150)
+            hierarchy = HierarchyConfig(data_oram=data, position_map_block_bytes=32,
+                                        onchip_position_map_limit_bytes=4096)
+            oram = HierarchicalPathORAM(hierarchy, rng=random.Random(8))
+            return ORAMBackend(ORAMMemoryInterface(oram),
+                               return_data_cycles=1892, finish_access_cycles=3132)
+
+        slowdown_friendly = run(friendly, oram_backend).total_cycles / run(
+            friendly, lambda: DRAMBackend(line_bytes=128)
+        ).total_cycles
+        slowdown_hostile = run(hostile, oram_backend).total_cycles / run(
+            hostile, lambda: DRAMBackend(line_bytes=128)
+        ).total_cycles
+        assert slowdown_hostile > slowdown_friendly * 1.5

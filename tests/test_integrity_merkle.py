@@ -1,0 +1,79 @@
+"""Strawman Merkle tree tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.integrity.merkle import MerkleTree
+
+
+class TestConstruction:
+    def test_capacity_rounded_to_power_of_two(self):
+        assert MerkleTree(5).num_leaves == 8
+        assert MerkleTree(8).num_leaves == 8
+        assert MerkleTree(1).num_leaves == 1
+
+    def test_levels(self):
+        assert MerkleTree(8).levels == 3
+        assert MerkleTree(16).levels == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree(0)
+
+    def test_initial_payloads_affect_root(self):
+        empty = MerkleTree(4)
+        filled = MerkleTree(4, initial_payloads=[b"a", b"b"])
+        assert empty.root != filled.root
+
+
+class TestVerification:
+    def test_valid_proof_verifies(self):
+        tree = MerkleTree(8, initial_payloads=[bytes([i]) for i in range(8)])
+        for leaf in range(8):
+            tree.verify(leaf, bytes([leaf]), tree.proof(leaf))
+
+    def test_wrong_payload_rejected(self):
+        tree = MerkleTree(8, initial_payloads=[bytes([i]) for i in range(8)])
+        with pytest.raises(IntegrityError):
+            tree.verify(3, b"tampered", tree.proof(3))
+
+    def test_wrong_leaf_index_rejected(self):
+        tree = MerkleTree(8, initial_payloads=[bytes([i]) for i in range(8)])
+        with pytest.raises(IntegrityError):
+            tree.verify(2, bytes([3]), tree.proof(3))
+
+    def test_stale_root_rejected_after_update(self):
+        tree = MerkleTree(4, initial_payloads=[b"a", b"b", b"c", b"d"])
+        old_root = tree.root
+        tree.update(1, b"B")
+        tree.verify(1, b"B", tree.proof(1))
+        with pytest.raises(IntegrityError):
+            tree.verify(1, b"B", tree.proof(1), root=old_root)
+
+    def test_update_changes_root(self):
+        tree = MerkleTree(4, initial_payloads=[b"a", b"b", b"c", b"d"])
+        before = tree.root
+        tree.update(0, b"z")
+        assert tree.root != before
+
+    def test_out_of_range_leaf_rejected(self):
+        tree = MerkleTree(4)
+        with pytest.raises(ConfigurationError):
+            tree.proof(4)
+
+
+class TestCostModel:
+    def test_strawman_cost_is_quadratic_in_levels(self):
+        # Section 5: the strawman needs Z (L+1)^2-ish hashes per ORAM access;
+        # with a Merkle tree over N blocks its height is ~log2 N, so the cost
+        # is Z (L+1) * height.
+        tree = MerkleTree(1 << 20)
+        cost = tree.hashes_per_oram_access(z=4, oram_levels=19)
+        assert cost == 4 * 20 * 20
+
+    def test_authenticated_scheme_is_cheaper(self):
+        # The paper's scheme reads at most L sibling hashes per access.
+        tree = MerkleTree(1 << 20)
+        strawman_cost = tree.hashes_per_oram_access(z=4, oram_levels=19)
+        paper_cost = 19  # sibling hashes along one ORAM path
+        assert paper_cost * 10 < strawman_cost

@@ -1,0 +1,114 @@
+"""Workload generator tests."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processor.trace import TraceRecord
+from repro.workloads.spec_like import SPEC_PROFILES, BenchmarkProfile, generate_benchmark_trace
+from repro.workloads.synthetic import (
+    hotspot_trace,
+    pointer_chase_trace,
+    random_access_trace,
+    sequential_scan_trace,
+    strided_trace,
+)
+
+
+class TestSyntheticTraces:
+    def test_random_trace_shape(self, rng):
+        trace = random_access_trace(500, 1 << 20, rng)
+        assert len(trace) == 500
+        assert all(isinstance(r, TraceRecord) for r in trace)
+        assert all(0 <= r.address < (1 << 20) for r in trace)
+
+    def test_sequential_trace_is_monotonic_within_a_pass(self, rng):
+        trace = sequential_scan_trace(100, 1 << 20, rng)
+        addresses = [r.address for r in trace]
+        assert addresses == sorted(addresses)
+
+    def test_sequential_trace_wraps_around(self, rng):
+        trace = sequential_scan_trace(20, 8 * 10, rng)
+        assert trace[0].address == trace[10].address
+
+    def test_strided_trace_stride(self, rng):
+        trace = strided_trace(10, 1 << 20, rng, stride_bytes=256)
+        assert trace[1].address - trace[0].address == 256
+
+    def test_pointer_chase_visits_many_distinct_nodes(self, rng):
+        trace = pointer_chase_trace(1000, 1 << 16, rng, node_bytes=64)
+        distinct = len({r.address for r in trace})
+        assert distinct > 500
+
+    def test_hotspot_trace_concentrates_accesses(self, rng):
+        trace = hotspot_trace(2000, 1 << 22, rng, hot_fraction=0.9, hot_set_bytes=4096)
+        in_hot = sum(1 for r in trace if r.address < 4096)
+        assert in_hot > 1500
+
+    def test_write_fraction_respected(self, rng):
+        trace = random_access_trace(3000, 1 << 20, rng, write_fraction=0.25)
+        writes = sum(1 for r in trace if r.is_write)
+        assert 0.18 < writes / len(trace) < 0.32
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_access_trace(0, 1 << 20, rng)
+        with pytest.raises(ConfigurationError):
+            strided_trace(10, 1 << 20, rng, stride_bytes=0)
+        with pytest.raises(ConfigurationError):
+            hotspot_trace(10, 1 << 20, rng, hot_fraction=1.5)
+
+
+class TestBenchmarkProfiles:
+    def test_all_profiles_generate(self):
+        rng = random.Random(0)
+        for name, profile in SPEC_PROFILES.items():
+            trace = generate_benchmark_trace(profile, 200, rng)
+            assert len(trace) == 200, name
+            assert all(r.address < profile.working_set_bytes for r in trace)
+
+    def test_paper_benchmarks_present(self):
+        # The paper explicitly calls out mcf, bzip2 and libquantum as the
+        # memory-bound benchmarks.
+        for name in ("mcf", "bzip2", "libquantum"):
+            assert name in SPEC_PROFILES
+
+    def test_memory_bound_profiles_have_larger_working_sets(self):
+        assert SPEC_PROFILES["mcf"].working_set_bytes > SPEC_PROFILES["hmmer"].working_set_bytes
+        assert SPEC_PROFILES["libquantum"].working_set_bytes > SPEC_PROFILES["gobmk"].working_set_bytes
+
+    def test_streaming_profile_has_long_runs(self):
+        assert SPEC_PROFILES["libquantum"].sequential_run_mean > 100
+        assert SPEC_PROFILES["mcf"].sequential_run_mean < 10
+
+    def test_gap_instructions_average_matches_profile(self):
+        profile = SPEC_PROFILES["gcc"]
+        trace = generate_benchmark_trace(profile, 6000, random.Random(1))
+        mean_gap = statistics.mean(r.gap_instructions for r in trace)
+        assert mean_gap == pytest.approx(profile.mean_gap_instructions, rel=0.2)
+
+    def test_write_fraction_matches_profile(self):
+        profile = SPEC_PROFILES["bzip2"]
+        trace = generate_benchmark_trace(profile, 6000, random.Random(2))
+        writes = sum(1 for r in trace if r.is_write)
+        assert writes / len(trace) == pytest.approx(profile.write_fraction, abs=0.05)
+
+    def test_deterministic_given_seed(self):
+        profile = SPEC_PROFILES["mcf"]
+        a = generate_benchmark_trace(profile, 100, random.Random(7))
+        b = generate_benchmark_trace(profile, 100, random.Random(7))
+        assert a == b
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(
+                name="bad", working_set_bytes=10, mean_gap_instructions=1.0,
+                write_fraction=0.1, sequential_run_mean=1.0, hot_fraction=0.1,
+                hot_set_bytes=10,
+            )
+
+    def test_invalid_op_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_benchmark_trace(SPEC_PROFILES["mcf"], 0, random.Random(0))
