@@ -25,6 +25,24 @@ def bench_scale() -> float:
         return 1.0
 
 
+def bench_executor() -> str:
+    """Executor for runner-driven sweeps (``REPRO_BENCH_EXECUTOR``).
+
+    Defaults to the multiprocessing executor when the machine has more
+    than one CPU — results are bit-identical to serial mode, per-point
+    simulations are seeded independently — and to serial on single-core
+    boxes where pool overhead cannot pay for itself.
+    """
+    executor = os.environ.get("REPRO_BENCH_EXECUTOR", "")
+    if executor in ("serial", "process"):
+        return executor
+    if executor:
+        raise ValueError(
+            f"REPRO_BENCH_EXECUTOR must be 'serial' or 'process', got {executor!r}"
+        )
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
 def scaled(value: int, minimum: int = 1) -> int:
     """Scale an access count by ``REPRO_BENCH_SCALE``."""
     return max(minimum, int(value * bench_scale()))

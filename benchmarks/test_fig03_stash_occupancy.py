@@ -6,7 +6,7 @@ and Z = 4 essentially never fails.  The reproduced, scaled-down experiment
 must preserve the ordering: smaller Z has a much heavier occupancy tail.
 """
 
-from conftest import emit, scaled
+from conftest import bench_executor, emit, scaled
 
 from repro.analysis.report import format_table
 from repro.analysis.stash_occupancy import run_stash_occupancy_sweep
@@ -22,6 +22,7 @@ def _run_experiment():
         working_set_blocks=WORKING_SET_BLOCKS,
         num_accesses=scaled(10 * WORKING_SET_BLOCKS),
         seed=1,
+        executor=bench_executor(),
     )
 
 

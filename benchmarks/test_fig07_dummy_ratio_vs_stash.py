@@ -6,7 +6,7 @@ many times more dummy accesses, which makes it a bad design point.  The
 paper fixes C = 200 for the rest of the evaluation.
 """
 
-from conftest import emit, scaled
+from conftest import bench_executor, emit, scaled
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import sweep_stash_size
@@ -26,6 +26,7 @@ def _run_experiment():
         working_set_blocks=WORKING_SET_BLOCKS,
         num_accesses=scaled(2500, minimum=400),
         seed=3,
+        executor=bench_executor(),
     )
 
 

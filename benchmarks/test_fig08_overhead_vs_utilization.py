@@ -10,10 +10,10 @@ utilization.  Z = 3 at 67% and Z = 4 at 75% remain reasonable, showing the
 
 import math
 
-from conftest import emit, scaled
+from conftest import bench_executor, emit, scaled
 
 from repro.analysis.report import format_table
-from repro.analysis.sweep import measure_dummy_ratio, utilization_config
+from repro.analysis.sweep import sweep_utilization
 
 CAPACITY_BLOCKS = 2048
 Z_VALUES = [1, 2, 3, 4, 8]
@@ -21,17 +21,20 @@ UTILIZATIONS = [0.02, 0.05, 0.125, 0.25, 0.5, 0.67, 0.75, 0.8]
 
 
 def _run_experiment():
-    points = {}
-    for z in Z_VALUES:
-        for utilization in UTILIZATIONS:
-            # The stash is scaled with the (much shallower) tree so eviction
-            # pressure shows up within a short run; see EXPERIMENTS.md.
-            config = utilization_config(z, utilization, CAPACITY_BLOCKS, stash_slack=25)
-            points[(z, utilization)] = measure_dummy_ratio(
-                config, num_accesses=scaled(700, minimum=200), seed=5,
-                abort_dummy_factor=15.0,
-            )
-    return points
+    # The stash is scaled with the (much shallower) tree so eviction
+    # pressure shows up within a short run; see EXPERIMENTS.md.
+    results = sweep_utilization(
+        Z_VALUES,
+        UTILIZATIONS,
+        capacity_blocks=CAPACITY_BLOCKS,
+        num_accesses=scaled(700, minimum=200),
+        seed=5,
+        stash_slack=25,
+        abort_dummy_factor=15.0,
+        executor=bench_executor(),
+    )
+    grid = [(z, utilization) for z in Z_VALUES for utilization in UTILIZATIONS]
+    return dict(zip(grid, results))
 
 
 def test_figure8_overhead_vs_utilization(benchmark):

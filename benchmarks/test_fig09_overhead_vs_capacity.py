@@ -7,7 +7,7 @@ ORAMs, while smaller ORAMs favour smaller Z (Z = 2 wins between 1 MB and
 accesses.
 """
 
-from conftest import emit, scaled
+from conftest import bench_executor, emit, scaled
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import sweep_capacity
@@ -25,6 +25,7 @@ def _run_experiment():
         utilization=0.5,
         seed=11,
         stash_slack=25,
+        executor=bench_executor(),
     )
 
 

@@ -8,7 +8,7 @@ block designs, despite lower theoretical overhead, end up slower than the
 32-byte designs once actually placed in DRAM.
 """
 
-from conftest import emit, scaled
+from conftest import bench_executor, emit, scaled
 
 from repro.analysis.dram_latency import figure11_rows
 from repro.analysis.report import format_table
@@ -20,6 +20,7 @@ def _run_experiment():
     return figure11_rows(
         scale=1.0, channel_counts=CHANNELS,
         num_accesses=scaled(12, minimum=4), seed=4,
+        executor=bench_executor(),
     )
 
 

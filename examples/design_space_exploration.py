@@ -4,26 +4,49 @@ A miniature version of the paper's Section 4.1 exploration: background
 eviction removes the failure-probability dimension, so every configuration
 can be compared on a single metric — access overhead (Equation 1 / 2).
 
+The Z/utilization grid runs through the unified experiment runner on a
+process pool (results are bit-identical to serial mode); pass
+``--serial`` to force in-process execution.
+
 Run with:  python examples/design_space_exploration.py
 """
 
+import os
+import sys
+
 from repro.analysis.hierarchy import figure10_rows
 from repro.analysis.report import format_table
-from repro.analysis.sweep import measure_dummy_ratio, utilization_config
+from repro.analysis.sweep import sweep_utilization
 
 
-def explore_z_and_utilization() -> None:
+def explore_z_and_utilization(executor: str) -> None:
     print("Access overhead (data moved per useful byte) for a ~2048-block tree")
-    print("('inf' marks configurations drowning in dummy accesses):")
+    print(f"('inf' marks configurations drowning in dummy accesses; {executor} executor):")
     z_values = [1, 2, 3, 4]
     utilizations = [0.25, 0.5, 0.67, 0.8]
+
+    def progress(done, total, result):
+        sys.stdout.write(f"\r  {done}/{total} grid points measured")
+        sys.stdout.flush()
+        if done == total:
+            print()
+
+    points = sweep_utilization(
+        z_values,
+        utilizations,
+        capacity_blocks=2048,
+        num_accesses=400,
+        seed=1,
+        abort_dummy_factor=12.0,
+        executor=executor,
+        progress=progress,
+    )
+    by_key = dict(zip(((z, u) for z in z_values for u in utilizations), points))
     rows = []
     for utilization in utilizations:
         row = [f"{utilization:.0%}"]
         for z in z_values:
-            config = utilization_config(z, utilization, capacity_blocks=2048)
-            point = measure_dummy_ratio(config, num_accesses=400, seed=1,
-                                        abort_dummy_factor=12.0)
+            point = by_key[(z, utilization)]
             row.append("inf" if point.aborted else f"{point.access_overhead:.0f}")
         rows.append(row)
     print(format_table(["utilization"] + [f"Z={z}" for z in z_values], rows))
@@ -53,7 +76,11 @@ def explore_position_map_block_size() -> None:
 
 
 def main() -> None:
-    explore_z_and_utilization()
+    if "--serial" in sys.argv or (os.cpu_count() or 1) == 1:
+        executor = "serial"
+    else:
+        executor = "process"
+    explore_z_and_utilization(executor)
     explore_position_map_block_size()
 
 

@@ -33,6 +33,10 @@ The package is organised into subpackages, one per subsystem:
 ``repro.analysis``
     Design-space sweep drivers and result formatting used by the benchmark
     harness.
+
+``repro.runner``
+    The unified experiment runner: grids of independent simulation points
+    executed serially or on a process pool with bit-identical results.
 """
 
 from repro.core.config import HierarchyConfig, ORAMConfig

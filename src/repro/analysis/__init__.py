@@ -12,6 +12,11 @@ Each module corresponds to one part of the paper's evaluation:
   storage of concrete configurations and SPEC-like slowdowns).
 * :mod:`repro.analysis.report` — plain-text table rendering shared by the
   benchmark harness and the examples.
+
+Every grid-shaped driver dispatches its points through
+:class:`repro.runner.ExperimentRunner`, so each accepts ``executor=``
+(``"serial"`` or ``"process"``), ``max_workers=`` and ``progress=``; the
+parallel executor returns bit-identical results to the serial one.
 """
 
 from repro.analysis.report import format_markdown_table, format_table

@@ -20,6 +20,7 @@ from repro.dram.oram_dram import (
     naive_placement_factory,
     subtree_placement_factory,
 )
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
 
 
 @dataclass(frozen=True)
@@ -73,13 +74,31 @@ def measure_latency(hierarchy: HierarchyConfig, channels: int, num_accesses: int
 
 
 def figure11_rows(scale: float = 1.0, channel_counts: tuple[int, ...] = (1, 2, 4),
-                  num_accesses: int = 20, seed: int = 0) -> list[DRAMLatencyRow]:
-    """All Figure 11 bars: every configuration at every channel count."""
-    rows = []
-    for name, hierarchy in figure11_configs(scale).items():
-        for channels in channel_counts:
-            rows.append(
-                measure_latency(hierarchy, channels, num_accesses=num_accesses,
-                                seed=seed, name=name)
-            )
-    return rows
+                  num_accesses: int = 20, seed: int = 0,
+                  executor: str = "serial", max_workers: int | None = None,
+                  progress: ProgressCallback | None = None) -> list[DRAMLatencyRow]:
+    """All Figure 11 bars: every configuration at every channel count.
+
+    Each (configuration, channel-count) cell is an independent simulation,
+    dispatched through the experiment runner; rows come back in grid order
+    regardless of executor.
+    """
+    specs = [
+        ExperimentSpec(
+            key=(name, channels),
+            fn=measure_latency,
+            kwargs={
+                "hierarchy": hierarchy,
+                "channels": channels,
+                "num_accesses": num_accesses,
+                "name": name,
+            },
+            seed=seed,
+        )
+        for name, hierarchy in figure11_configs(scale).items()
+        for channels in channel_counts
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    return runner.run_values(specs)

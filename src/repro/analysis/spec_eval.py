@@ -28,6 +28,7 @@ from repro.dram.oram_dram import ORAMDRAMSimulator, subtree_placement_factory
 from repro.processor.config import ProcessorConfig, table1_processor
 from repro.processor.memory import DRAMBackend, ORAMBackend
 from repro.processor.simulator import ProcessorSimulator, SimulationResult
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
 from repro.workloads.spec_like import SPEC_PROFILES, generate_benchmark_trace
 
 #: Decryption latency per ORAM in the hierarchy, in CPU cycles (the paper's
@@ -169,22 +170,56 @@ def run_oram_configuration(benchmark: str, configuration: Figure12Config,
 def figure12_slowdowns(benchmarks: list[str], num_memory_ops: int = 20_000,
                        functional_scale: float = 1.0 / 1024, seed: int = 0,
                        configurations: list[Figure12Config] | None = None,
-                       warmup_operations: int | None = None
+                       warmup_operations: int | None = None,
+                       executor: str = "serial", max_workers: int | None = None,
+                       progress: ProgressCallback | None = None
                        ) -> dict[str, dict[str, float]]:
-    """Slowdown of every ORAM configuration over DRAM, per benchmark."""
+    """Slowdown of every ORAM configuration over DRAM, per benchmark.
+
+    Every (benchmark, configuration) replay — including each benchmark's
+    DRAM baseline — is an independent trace simulation dispatched through
+    the experiment runner, so the whole Figure 12 grid parallelises.
+    """
     if configurations is None:
         configurations = figure12_configurations(functional_scale=functional_scale, seed=seed)
-    results: dict[str, dict[str, float]] = {}
-    for benchmark in benchmarks:
-        baseline = run_dram_baseline(
-            benchmark, num_memory_ops, seed=seed, warmup_operations=warmup_operations
+    specs = [
+        ExperimentSpec(
+            key=(benchmark, "dram-baseline"),
+            fn=run_dram_baseline,
+            kwargs={
+                "benchmark": benchmark,
+                "num_memory_ops": num_memory_ops,
+                "warmup_operations": warmup_operations,
+            },
+            seed=seed,
         )
-        per_config: dict[str, float] = {}
+        for benchmark in benchmarks
+    ] + [
+        ExperimentSpec(
+            key=(benchmark, configuration.name),
+            fn=run_oram_configuration,
+            kwargs={
+                "benchmark": benchmark,
+                "configuration": configuration,
+                "num_memory_ops": num_memory_ops,
+                "warmup_operations": warmup_operations,
+            },
+            seed=seed,
+        )
+        for benchmark in benchmarks
+        for configuration in configurations
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    values = runner.run_values(specs)
+    baselines = dict(zip(benchmarks, values[: len(benchmarks)]))
+    results: dict[str, dict[str, float]] = {benchmark: {} for benchmark in benchmarks}
+    index = len(benchmarks)
+    for benchmark in benchmarks:
         for configuration in configurations:
-            result = run_oram_configuration(
-                benchmark, configuration, num_memory_ops, seed=seed,
-                warmup_operations=warmup_operations,
+            results[benchmark][configuration.name] = values[index].slowdown_over(
+                baselines[benchmark]
             )
-            per_config[configuration.name] = result.slowdown_over(baseline)
-        results[benchmark] = per_config
+            index += 1
     return results

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.core.background_eviction import NoEviction
 from repro.core.config import ORAMConfig
 from repro.core.path_oram import PathORAM
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
 
 
 @dataclass
@@ -76,12 +77,31 @@ def run_stash_occupancy_sweep(
     num_accesses: int | None = None,
     utilization: float = 0.5,
     seed: int = 0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict[int, StashOccupancyResult]:
-    """Figure 3: the occupancy distribution for each Z."""
-    return {
-        z: run_stash_occupancy_experiment(
-            z, working_set_blocks, num_accesses=num_accesses,
-            utilization=utilization, seed=seed + z,
+    """Figure 3: the occupancy distribution for each Z.
+
+    Each Z is an independent simulation (seeded ``seed + z`` as before), so
+    ``executor="process"`` runs them in parallel with identical results.
+    """
+    specs = [
+        ExperimentSpec(
+            key=("fig3", z),
+            fn=run_stash_occupancy_experiment,
+            kwargs={
+                "z": z,
+                "working_set_blocks": working_set_blocks,
+                "num_accesses": num_accesses,
+                "utilization": utilization,
+            },
+            seed=seed + z,
         )
         for z in z_values
-    }
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    results = runner.run_values(specs)
+    return {z: result for z, result in zip(z_values, results)}

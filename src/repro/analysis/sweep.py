@@ -6,6 +6,11 @@ eviction enabled, measuring the dummy-access ratio and the resulting access
 overhead (Equation 1).  Configurations that the paper could not finish
 (small Z at very high utilization) are detected by an abort threshold and
 reported as unbounded rather than looping forever.
+
+Every sweep builds its grid as :class:`~repro.runner.ExperimentSpec` points
+and executes them through :class:`~repro.runner.ExperimentRunner`, so any
+grid can run serially or on a process pool (``executor="process"``) with
+bit-identical results — each point seeds its own ``random.Random``.
 """
 
 from __future__ import annotations
@@ -18,7 +23,13 @@ from repro.core.background_eviction import BackgroundEviction
 from repro.core.config import ORAMConfig
 from repro.core.overhead import measured_access_overhead, theoretical_access_overhead
 from repro.core.path_oram import PathORAM
+from repro.core.stats import AccessStats
 from repro.errors import ReproError
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+
+#: Accesses to complete before the abort threshold is consulted, so a noisy
+#: start-up phase cannot abort a configuration that would settle down.
+ABORT_GRACE_ACCESSES = 100
 
 
 @dataclass(frozen=True)
@@ -34,10 +45,32 @@ class SweepPoint:
     access_overhead: float
     theoretical_overhead: float
     aborted: bool = False
+    abort_reason: str | None = None
 
     @property
     def label(self) -> str:
         return f"Z={self.z} util={self.utilization:.0%} C={self.stash_capacity}"
+
+
+def _dummy_abort_reason(
+    stats: AccessStats, accesses_done: int, abort_dummy_factor: float, phase: str
+) -> str | None:
+    """The shared abort check for the prefill and measurement loops.
+
+    Returns a human-readable reason once the dummy accesses exceed
+    ``abort_dummy_factor`` times the real accesses (after a grace period),
+    mirroring the paper's observation that such configurations are too
+    inefficient to finish.
+    """
+    if (
+        accesses_done >= ABORT_GRACE_ACCESSES
+        and stats.dummy_accesses > abort_dummy_factor * stats.real_accesses
+    ):
+        return (
+            f"{phase}: {stats.dummy_accesses} dummy accesses for "
+            f"{stats.real_accesses} real accesses exceeds factor {abort_dummy_factor:g}"
+        )
+    return None
 
 
 def measure_dummy_ratio(
@@ -52,11 +85,9 @@ def measure_dummy_ratio(
     When ``prefill`` is set (the default), every working-set address is
     accessed once first so the ORAM holds its nominal utilization before
     measurement begins — the paper's experiments likewise measure a full
-    ORAM (they run ``10 N`` accesses).  The run aborts (and the point is
-    flagged) once the number of dummy accesses exceeds
-    ``abort_dummy_factor`` times the real accesses issued so far, mirroring
-    the paper's observation that such configurations are too inefficient to
-    finish.
+    ORAM (they run ``10 N`` accesses).  The run aborts (``aborted`` is set
+    and ``abort_reason`` says why) once the dummy-access count exceeds
+    ``abort_dummy_factor`` times the real accesses issued so far.
     """
     rng = random.Random(seed)
     oram = PathORAM(
@@ -66,32 +97,29 @@ def measure_dummy_ratio(
         create_on_miss=True,
     )
     working_set = config.working_set_blocks
-    aborted = False
+    abort_reason: str | None = None
     try:
         if prefill:
             for address in range(1, working_set + 1):
                 oram.access(address)
-                if (
-                    address >= 100
-                    and oram.stats.dummy_accesses
-                    > abort_dummy_factor * oram.stats.real_accesses
-                ):
-                    aborted = True
+                abort_reason = _dummy_abort_reason(
+                    oram.stats, address, abort_dummy_factor, "prefill"
+                )
+                if abort_reason is not None:
                     break
             oram.stats.reset()
-        if not aborted:
+        if abort_reason is None:
             for index in range(num_accesses):
                 oram.access(rng.randrange(1, working_set + 1))
-                if (
-                    index >= 100
-                    and oram.stats.dummy_accesses
-                    > abort_dummy_factor * oram.stats.real_accesses
-                ):
-                    aborted = True
+                abort_reason = _dummy_abort_reason(
+                    oram.stats, index, abort_dummy_factor, "measurement"
+                )
+                if abort_reason is not None:
                     break
-    except ReproError:
-        aborted = True
+    except ReproError as exc:
+        abort_reason = f"eviction livelock: {exc}"
 
+    aborted = abort_reason is not None
     stats = oram.stats
     dummy_ratio = stats.dummy_ratio if not aborted else math.inf
     overhead = (
@@ -107,7 +135,42 @@ def measure_dummy_ratio(
         access_overhead=overhead,
         theoretical_overhead=theoretical_access_overhead(config),
         aborted=aborted,
+        abort_reason=abort_reason,
     )
+
+
+def run_sweep(
+    configs: list[ORAMConfig],
+    num_accesses: int,
+    seed: int = 0,
+    abort_dummy_factor: float = 30.0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[SweepPoint]:
+    """Measure every configuration through the experiment runner.
+
+    Points are returned in ``configs`` order; with ``executor="process"``
+    they are computed in parallel, bit-identically to serial mode (each
+    point is an independent, self-seeded simulation).
+    """
+    specs = [
+        ExperimentSpec(
+            key=(config.name or index, config.z, config.stash_capacity),
+            fn=measure_dummy_ratio,
+            kwargs={
+                "config": config,
+                "num_accesses": num_accesses,
+                "abort_dummy_factor": abort_dummy_factor,
+            },
+            seed=seed,
+        )
+        for index, config in enumerate(configs)
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    return runner.run_values(specs)
 
 
 def sweep_stash_size(
@@ -117,21 +180,27 @@ def sweep_stash_size(
     num_accesses: int,
     utilization: float = 0.5,
     seed: int = 0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[SweepPoint]:
     """Figure 7: dummy/real ratio versus stash size for each Z."""
-    points = []
-    for z in z_values:
-        for stash in stash_sizes:
-            config = ORAMConfig(
-                working_set_blocks=working_set_blocks,
-                utilization=utilization,
-                z=z,
-                block_bytes=128,
-                stash_capacity=stash,
-                name=f"fig7-z{z}-c{stash}",
-            )
-            points.append(measure_dummy_ratio(config, num_accesses, seed=seed))
-    return points
+    configs = [
+        ORAMConfig(
+            working_set_blocks=working_set_blocks,
+            utilization=utilization,
+            z=z,
+            block_bytes=128,
+            stash_capacity=stash,
+            name=f"fig7-z{z}-c{stash}",
+        )
+        for z in z_values
+        for stash in stash_sizes
+    ]
+    return run_sweep(
+        configs, num_accesses, seed=seed,
+        executor=executor, max_workers=max_workers, progress=progress,
+    )
 
 
 def utilization_config(
@@ -176,29 +245,42 @@ def utilization_config(
 def sweep_utilization(
     z_values: list[int],
     utilizations: list[float],
-    working_set_blocks: int,
-    num_accesses: int,
+    working_set_blocks: int | None = None,
+    num_accesses: int = 500,
     stash_capacity: int = 200,
     seed: int = 0,
     stash_slack: int | None = None,
+    capacity_blocks: int | None = None,
+    abort_dummy_factor: float = 30.0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[SweepPoint]:
     """Figure 8: access overhead versus ORAM utilization for each Z.
 
-    ``working_set_blocks`` sets the scale of the experiment (the tree is
-    sized to hold roughly ``working_set_blocks / 0.5``); each utilization
-    point then adjusts the number of valid blocks so the effective
-    utilization matches the requested one exactly.
+    The tree size is set by ``capacity_blocks`` (directly) or by
+    ``working_set_blocks`` (the tree is sized to hold roughly
+    ``working_set_blocks / 0.5``); each utilization point then adjusts the
+    number of valid blocks so the effective utilization matches the
+    requested one exactly.  Points come back in ``(z, utilization)`` grid
+    order.
     """
-    points = []
-    capacity_blocks = 2 * working_set_blocks
-    for z in z_values:
-        for utilization in utilizations:
-            config = utilization_config(
-                z, utilization, capacity_blocks, stash_capacity=stash_capacity,
-                stash_slack=stash_slack,
-            )
-            points.append(measure_dummy_ratio(config, num_accesses, seed=seed))
-    return points
+    if capacity_blocks is None:
+        if working_set_blocks is None:
+            raise ValueError("need working_set_blocks or capacity_blocks")
+        capacity_blocks = 2 * working_set_blocks
+    configs = [
+        utilization_config(
+            z, utilization, capacity_blocks, stash_capacity=stash_capacity,
+            stash_slack=stash_slack,
+        )
+        for z in z_values
+        for utilization in utilizations
+    ]
+    return run_sweep(
+        configs, num_accesses, seed=seed, abort_dummy_factor=abort_dummy_factor,
+        executor=executor, max_workers=max_workers, progress=progress,
+    )
 
 
 def sweep_capacity(
@@ -209,9 +291,12 @@ def sweep_capacity(
     stash_capacity: int = 200,
     seed: int = 0,
     stash_slack: int | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> list[SweepPoint]:
     """Figure 9: access overhead versus ORAM capacity at fixed utilization."""
-    points = []
+    configs = []
     for z in z_values:
         for working_set in working_sets:
             config = ORAMConfig(
@@ -226,5 +311,8 @@ def sweep_capacity(
                 config = config.with_updates(
                     stash_capacity=config.blocks_per_path + stash_slack
                 )
-            points.append(measure_dummy_ratio(config, num_accesses_per_point, seed=seed))
-    return points
+            configs.append(config)
+    return run_sweep(
+        configs, num_accesses_per_point, seed=seed,
+        executor=executor, max_workers=max_workers, progress=progress,
+    )

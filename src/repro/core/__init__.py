@@ -26,6 +26,12 @@ from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.hierarchical import HierarchicalPathORAM
 from repro.core.interface import ORAMMemoryInterface
 from repro.core.path_oram import PathORAM
+from repro.core.tree import (
+    EncryptedTreeStorage,
+    FlatTreeStorage,
+    PlainTreeStorage,
+    TreeStorage,
+)
 from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats
@@ -36,6 +42,10 @@ __all__ = [
     "ORAMConfig",
     "HierarchyConfig",
     "PathORAM",
+    "TreeStorage",
+    "FlatTreeStorage",
+    "PlainTreeStorage",
+    "EncryptedTreeStorage",
     "HierarchicalPathORAM",
     "ORAMMemoryInterface",
     "PositionMap",

@@ -33,6 +33,18 @@ class EvictionPolicy(ABC):
         """Run evictions as needed; return the number of dummy accesses issued."""
 
 
+def _resolve_threshold(oram: "PathORAM") -> int | None:
+    """The ORAM's eviction threshold, or ``None`` for an unbounded stash.
+
+    PathORAM caches the threshold; duck-typed ORAMs (tests) that only carry
+    a configuration fall back to the config's derived value.
+    """
+    threshold = getattr(oram, "eviction_threshold", None)
+    if threshold is None:
+        threshold = oram.config.eviction_threshold
+    return threshold
+
+
 class NoEviction(EvictionPolicy):
     """Never evict.
 
@@ -63,7 +75,7 @@ class BackgroundEviction(EvictionPolicy):
         self._livelock_limit = livelock_limit
 
     def after_access(self, oram: "PathORAM") -> int:
-        threshold = oram.config.eviction_threshold
+        threshold = _resolve_threshold(oram)
         if threshold is None:
             return 0
         issued = 0
@@ -93,7 +105,7 @@ class InsecureBlockRemapEviction(EvictionPolicy):
         self._livelock_limit = livelock_limit
 
     def after_access(self, oram: "PathORAM") -> int:
-        threshold = oram.config.eviction_threshold
+        threshold = _resolve_threshold(oram)
         if threshold is None:
             return 0
         issued = 0

@@ -86,6 +86,17 @@ class ORAMConfig:
             raise ConfigurationError("super_block_size must be >= 1")
         if self.encryption not in ("counter", "strawman", "none"):
             raise ConfigurationError(f"unknown encryption scheme: {self.encryption!r}")
+        # Cache the derived tree geometry.  ORAMConfig is frozen, so the
+        # expensive derived quantities (the tree-depth search in particular)
+        # can be computed once; the simulation hot path reads them millions
+        # of times per experiment.
+        total_blocks = max(1, math.ceil(self.working_set_blocks / self.utilization))
+        buckets_needed = math.ceil(total_blocks / self.z)
+        level = 0
+        while (1 << (level + 1)) - 1 < buckets_needed:
+            level += 1
+        object.__setattr__(self, "_total_blocks", total_blocks)
+        object.__setattr__(self, "_levels", level)
         if self.stash_capacity is not None and self.stash_capacity < self.blocks_per_path:
             raise ConfigurationError(
                 "stash_capacity must be at least Z*(L+1) "
@@ -118,17 +129,16 @@ class ORAMConfig:
     @property
     def total_blocks(self) -> int:
         """Total block slots ``N`` in the ORAM (working set / utilization)."""
-        return max(1, math.ceil(self.working_set_blocks / self.utilization))
+        return self._total_blocks
 
     @property
     def levels(self) -> int:
-        """Tree depth ``L`` (the root is level 0, leaves are level L)."""
-        buckets_needed = math.ceil(self.total_blocks / self.z)
-        # Smallest L such that 2^(L+1) - 1 >= buckets_needed.
-        level = 0
-        while (1 << (level + 1)) - 1 < buckets_needed:
-            level += 1
-        return level
+        """Tree depth ``L`` (the root is level 0, leaves are level L).
+
+        The smallest ``L`` such that ``2^(L+1) - 1 >= ceil(N / Z)``,
+        precomputed in ``__post_init__``.
+        """
+        return self._levels
 
     @property
     def num_levels(self) -> int:

@@ -84,6 +84,15 @@ class HierarchicalPathORAM:
         )
         self._stats = AccessStats()
         self._livelock_limit = livelock_limit
+        # Hot-path caches for the background-eviction rounds: dummy rounds
+        # re-check every stash threshold after every round, and each round
+        # walks the ORAMs smallest-first (the reverse of construction order).
+        self._eviction_order = tuple(reversed(self._orams))
+        self._thresholded_orams = tuple(
+            (oram, oram.eviction_threshold)
+            for oram in self._orams
+            if oram.eviction_threshold is not None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -234,7 +243,7 @@ class HierarchicalPathORAM:
         """Issue dummy rounds until every stash is below its threshold."""
         rounds = 0
         while self._any_stash_over_threshold():
-            for oram in reversed(self._orams):  # smallest ORAM first, data last
+            for oram in self._eviction_order:  # smallest ORAM first, data last
                 oram.dummy_access()
             rounds += 1
             self._stats.record_dummy_access()
@@ -244,9 +253,8 @@ class HierarchicalPathORAM:
         return rounds
 
     def _any_stash_over_threshold(self) -> bool:
-        for oram in self._orams:
-            threshold = oram.config.eviction_threshold
-            if threshold is not None and oram.stash_occupancy > threshold:
+        for oram, threshold in self._thresholded_orams:
+            if oram.stash_occupancy > threshold:
                 return True
         return False
 

@@ -24,7 +24,7 @@ from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats
 from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
-from repro.core.tree import PlainTreeStorage, TreeStorage
+from repro.core.tree import FlatTreeStorage, TreeStorage
 from repro.core.types import AccessResult, Block, Operation
 from repro.errors import ConfigurationError, StashOverflowError
 
@@ -52,8 +52,8 @@ class PathORAM:
     config:
         The ORAM's parameters.
     storage:
-        Tree storage back-end; defaults to the functional
-        :class:`PlainTreeStorage`.
+        Tree storage back-end; defaults to the fast array-backed
+        :class:`FlatTreeStorage`.
     eviction_policy:
         Background-eviction policy; defaults to the paper's
         :class:`BackgroundEviction` when the stash is bounded and
@@ -84,14 +84,43 @@ class PathORAM:
     ) -> None:
         self._config = config
         self._rng = rng if rng is not None else random.Random()
-        self._storage = storage if storage is not None else PlainTreeStorage(config)
+        self._storage = storage if storage is not None else FlatTreeStorage(config)
         if self._storage.config is not config and self._storage.config != config:
             raise ConfigurationError("storage was built for a different configuration")
+        # Hot-path caches: the protocol reads these once per path operation,
+        # so they must not go through the derived-property machinery.
+        self._levels = config.levels
+        self._z = config.z
+        self._eviction_threshold = config.eviction_threshold
+        # Scratch lists reused by every write-back: candidate blocks from
+        # the stash and from the pending path buffer, bucketed by the
+        # deepest level they may occupy on the path being written.
+        self._by_deepest_stash: list[list[Block]] = [[] for _ in range(self._levels + 1)]
+        self._by_deepest_buffer: list[list[Block]] = [[] for _ in range(self._levels + 1)]
+        # deepest legal level = levels - bit_length(leaf_a XOR leaf_b); for
+        # moderate trees a lookup table turns that into one list index on
+        # the write-back hot path (64K leaves = 512 KB, a wash for bigger
+        # trees, so those fall back to bit_length).
+        if self._levels <= 16:
+            self._deepest_table: list[int] | None = [self._levels] + [
+                self._levels - diff.bit_length()
+                for diff in range(1, 1 << self._levels)
+            ]
+        else:
+            self._deepest_table = None
+        # Blocks read from the current path live here between the path read
+        # and the path write-back.  Most of them go straight back into the
+        # tree, so keeping them out of the stash's indexes until the
+        # write-back decides they must stay avoids two index updates per
+        # pass-through block.  Consumed (and reset) by every write-back.
+        self._path_buffer: list[Block] = []
+        self._transient_peak = 0
         self._mapper = (
             super_block_mapper
             if super_block_mapper is not None
             else StaticSuperBlockMapper(config.super_block_size)
         )
+        self._single_member_groups = self._mapper.group_size == 1
         num_groups = self._mapper.num_groups(config.working_set_blocks)
         self._position_map = PositionMap(num_groups, config.num_leaves, rng=self._rng)
         self._stash = Stash(capacity=None)
@@ -105,6 +134,15 @@ class PathORAM:
         self._create_on_miss = create_on_miss
         self._record_path_trace = record_path_trace
         self._path_trace: list[int] = []
+        # When the policy is threshold-gated, the access fast path can skip
+        # the policy call entirely while the stash sits below the threshold
+        # (the policy would immediately return 0 anyway).
+        self._eviction_gate = (
+            self._eviction_threshold
+            if isinstance(self._eviction, BackgroundEviction)
+            and self._eviction_threshold is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,14 +172,24 @@ class PathORAM:
         return self._eviction
 
     @property
+    def eviction_threshold(self) -> int | None:
+        """Cached ``C - Z(L+1)`` (``None`` = unbounded stash)."""
+        return self._eviction_threshold
+
+    @property
     def stash_occupancy(self) -> int:
         """Number of real blocks currently in the stash."""
         return self._stash.occupancy
 
     @property
     def max_stash_occupancy(self) -> int:
-        """High-water mark of the stash occupancy."""
-        return self._stash.max_occupancy
+        """High-water mark of the stash occupancy.
+
+        Includes the transient peak while a path's blocks are held between
+        read and write-back, matching the on-chip buffering the paper's
+        stash models.
+        """
+        return max(self._stash.max_occupancy, self._transient_peak)
 
     @property
     def path_trace(self) -> list[int]:
@@ -181,14 +229,21 @@ class PathORAM:
         """
         self._check_address(address)
         group = self._mapper.group_of(address)
-        old_leaf = self._position_map.lookup(group)
-        new_leaf = self._position_map.random_leaf()
-        self._position_map.assign(group, new_leaf)
+        position_map = self._position_map
+        old_leaf = position_map.lookup(group)
+        new_leaf = position_map.random_leaf()
+        position_map.assign(group, new_leaf)
         result = self._access_path(address, group, old_leaf, new_leaf, op, data)
-        self._stats.record_real_access()
-        self._stats.sample_stash_occupancy(self._stash.occupancy)
-        dummy_count = self._eviction.after_access(self)
-        self._check_stash_bound()
+        stats = self._stats
+        stats.real_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash))
+        gate = self._eviction_gate
+        if gate is not None and len(self._stash) <= gate:
+            dummy_count = 0
+        else:
+            dummy_count = self._eviction.after_access(self)
+            self._check_stash_bound()
         result.dummy_accesses = dummy_count
         return result
 
@@ -254,10 +309,17 @@ class PathORAM:
         Section 3.2 prescribes.
         """
         extracted: dict[int, Any] = {}
+        buffer = self._path_buffer
         for member in self._mapper.addresses_in_group(group):
             if member > self._config.working_set_blocks:
                 continue
             block = self._stash.pop(member)
+            if block is None:
+                for index, candidate in enumerate(buffer):
+                    if candidate.address == member:
+                        block = candidate
+                        del buffer[index]
+                        break
             if block is not None:
                 extracted[member] = block.data
             elif self._create_on_miss:
@@ -275,8 +337,10 @@ class PathORAM:
         leaf = self._position_map.random_leaf()
         self._read_path_into_stash(leaf)
         self._write_back_path(leaf)
-        self._stats.record_dummy_access()
-        self._stats.sample_stash_occupancy(self._stash.occupancy)
+        stats = self._stats
+        stats.dummy_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash))
 
     def remap_access(self, address: int) -> None:
         """Access-and-remap used by the *insecure* eviction scheme.
@@ -362,16 +426,31 @@ class PathORAM:
     ) -> AccessResult:
         self._read_path_into_stash(current_leaf)
         block = self._stash.get(address)
+        in_stash = block is not None
+        if block is None:
+            for candidate in self._path_buffer:
+                if candidate.address == address:
+                    block = candidate
+                    break
         found = block is not None
         if block is None:
             if op is Operation.WRITE or mutate is not None or self._create_on_miss:
                 block = Block(address=address, leaf=new_leaf, data=None)
                 self._stash.add(block)
+                in_stash = True
         if block is not None and op is Operation.WRITE:
             block.data = data
         if block is not None and mutate is not None:
             block.data = mutate(block.data)
-        self._retarget_group(group, new_leaf)
+        if self._single_member_groups:
+            # The accessed block is its whole super-block group.
+            if block is not None:
+                if in_stash:
+                    self._stash.retarget(address, new_leaf)
+                else:
+                    block.leaf = new_leaf  # buffer blocks are unindexed
+        else:
+            self._retarget_group(group, new_leaf)
         result_data = block.data if block is not None else None
         self._write_back_path(current_leaf)
         return AccessResult(address=address, data=result_data, found=found)
@@ -382,47 +461,131 @@ class PathORAM:
         By the super-block invariant all members share a leaf, so after the
         path read every member still stored in the ORAM is in the stash.
         """
+        retarget = self._stash.retarget
+        buffer = self._path_buffer
         for member in self._mapper.addresses_in_group(group):
-            member_block = self._stash.get(member)
-            if member_block is not None:
-                member_block.leaf = new_leaf
+            if retarget(member, new_leaf) is None:
+                # Not stash-resident: the member may sit in the path buffer
+                # (just read, not yet written back), which is not indexed.
+                for candidate in buffer:
+                    if candidate.address == member:
+                        candidate.leaf = new_leaf
+                        break
 
     def _read_path_into_stash(self, leaf: int) -> None:
+        """Read the path into the transient buffer (logically, the stash).
+
+        The blocks become part of the protocol's working set immediately
+        (:meth:`_find_resident` sees them), but their stash indexing is
+        deferred to the write-back, which returns most of them straight to
+        the tree.
+        """
         if self._record_path_trace:
             self._path_trace.append(leaf)
-        blocks = self._storage.read_path(leaf)
-        for block in blocks:
-            self._stash.add(block)
-        self._stats.record_path_read(len(blocks))
-        # The blocks now live in the stash; the write-back step rewrites
-        # every bucket on this path, so no explicit clearing is needed.
+        blocks = self._storage.read_path_blocks(leaf)
+        self._path_buffer = blocks
+        count = len(blocks)
+        transient = len(self._stash) + count
+        if transient > self._transient_peak:
+            self._transient_peak = transient
+        stats = self._stats
+        stats.path_reads += 1
+        stats.blocks_read += count
 
     def _write_back_path(self, leaf: int) -> None:
-        """Greedy eviction: place stash blocks as deep as possible on ``leaf``'s path."""
-        levels = self._config.levels
-        z = self._config.z
-        path = self._storage.path(leaf)
+        """Greedy eviction: place stash blocks as deep as possible on ``leaf``'s path.
 
-        # Group stash blocks by the deepest level they may occupy on this path.
-        by_deepest: list[list[Block]] = [[] for _ in range(levels + 1)]
-        for block in self._stash:
-            deepest = leaf_common_path_length(block.leaf, leaf, levels) - 1
-            by_deepest[deepest].append(block)
+        The candidate pool is every stash block plus every block of the
+        pending path buffer, bucketed by the deepest level it may occupy on
+        this path.  The two sources are kept in separate pools: when a level
+        has room, buffer blocks are placed first (the same tie-break as the
+        seed algorithm, where freshly read blocks sat at the pop end of the
+        candidate list).  A placed buffer block therefore never touches the
+        stash's indexes at all, an unplaced stash block stays where it is,
+        and only the two small remainders — placed stash blocks and
+        unplaced buffer blocks — pay an index update.
+        """
+        levels = self._levels
+        z = self._z
 
-        assignments: dict[int, list[Block]] = {}
+        # The stash's leaf index lets grouping run per distinct leaf (one
+        # XOR per leaf) instead of rescanning every block; the scratch
+        # lists are reused across calls and drained level by level below.
+        by_stash = self._by_deepest_stash
+        by_buffer = self._by_deepest_buffer
+        buffer = self._path_buffer
+        self._path_buffer = []
+        table = self._deepest_table
+        if table is not None:
+            for other_leaf, group in self._stash.leaf_groups():
+                by_stash[table[other_leaf ^ leaf]].extend(group.values())
+            for block in buffer:
+                by_buffer[table[block.leaf ^ leaf]].append(block)
+        else:
+            for other_leaf, group in self._stash.leaf_groups():
+                diff = other_leaf ^ leaf
+                by_stash[levels if not diff else levels - diff.bit_length()].extend(
+                    group.values()
+                )
+            for block in buffer:
+                diff = block.leaf ^ leaf
+                by_buffer[levels if not diff else levels - diff.bit_length()].append(block)
+
+        level_buckets: list[list[Block] | None] = [None] * (levels + 1)
         written = 0
-        available: list[Block] = []
+        candidates = len(self._stash) + len(buffer)
+        avail_buffer: list[Block] = []
+        avail_stash: list[Block] = []
+        placed_stash: list[Block] = []
+        nb = ns = 0
         for level in range(levels, -1, -1):
+            if written == candidates:
+                # Every candidate is placed; the remaining (shallower)
+                # buckets are written empty via their None entries.
+                break
             # Blocks whose deepest legal level is exactly `level` become
             # available here and remain candidates for shallower levels.
-            available.extend(by_deepest[level])
-            bucket: list[Block] = []
-            while available and len(bucket) < z:
-                bucket.append(available.pop())
-            if bucket:
-                assignments[path[level]] = bucket
-                written += len(bucket)
-                for block in bucket:
-                    self._stash.pop(block.address)
-        self._storage.write_path(leaf, assignments)
-        self._stats.record_path_write(written)
+            ready = by_buffer[level]
+            if ready:
+                avail_buffer.extend(ready)
+                ready.clear()
+                nb = len(avail_buffer)
+            ready = by_stash[level]
+            if ready:
+                avail_stash.extend(ready)
+                ready.clear()
+                ns = len(avail_stash)
+            if nb:
+                take = nb if nb < z else z
+                nb -= take
+                bucket = avail_buffer[nb:]
+                del avail_buffer[nb:]
+                if take < z and ns:
+                    extra = z - take if z - take < ns else ns
+                    ns -= extra
+                    placed = avail_stash[ns:]
+                    del avail_stash[ns:]
+                    bucket += placed
+                    placed_stash += placed
+                    take += extra
+            elif ns:
+                take = ns if ns < z else z
+                ns -= take
+                bucket = avail_stash[ns:]
+                del avail_stash[ns:]
+                placed_stash += bucket
+            else:
+                continue
+            level_buckets[level] = bucket
+            written += take
+        if placed_stash:
+            self._stash.remove_placed(placed_stash)
+        if avail_buffer:
+            # Unplaced buffer blocks now genuinely enter the stash.
+            add = self._stash.add
+            for block in avail_buffer:
+                add(block)
+        self._storage.write_path_levels(leaf, level_buckets)
+        stats = self._stats
+        stats.path_writes += 1
+        stats.blocks_written += written

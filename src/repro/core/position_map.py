@@ -32,6 +32,10 @@ class PositionMap:
             raise ConfigurationError("position map needs at least one leaf")
         self._rng = rng if rng is not None else random.Random()
         self._num_leaves = num_leaves
+        # Leaf counts are powers of two for full binary trees, so a uniform
+        # draw is a single getrandbits call — much cheaper than randrange
+        # on the dummy-access hot path.
+        self._leaf_bits = (num_leaves - 1).bit_length() if num_leaves & (num_leaves - 1) == 0 else 0
         self._leaves = [self._rng.randrange(num_leaves) for _ in range(num_entries)]
 
     def __len__(self) -> int:
@@ -67,6 +71,8 @@ class PositionMap:
 
     def random_leaf(self) -> int:
         """Draw a uniformly random leaf (used for dummy accesses)."""
+        if self._leaf_bits:
+            return self._rng.getrandbits(self._leaf_bits)
         return self._rng.randrange(self._num_leaves)
 
     def size_bits(self, leaf_bits: int) -> int:

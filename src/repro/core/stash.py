@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator, ItemsView
 
 from repro.core.types import Block
 from repro.errors import StashOverflowError
@@ -14,6 +14,15 @@ class Stash:
     The stash is keyed by program address: Path ORAM never stores two copies
     of the same block, so an address uniquely identifies a stash entry.
 
+    Blocks are additionally indexed by the leaf they are mapped to
+    (:meth:`leaf_groups`).  The write-back step of the protocol buckets
+    stash blocks by the deepest level they may legally occupy on the path
+    being written, which depends only on a block's leaf; the leaf index lets
+    it do that per *distinct leaf* instead of rescanning every block.  The
+    index is maintained incrementally by :meth:`add`, :meth:`pop` and
+    :meth:`retarget` — code outside this class must never assign
+    ``block.leaf`` directly for a block that sits in the stash.
+
     Parameters
     ----------
     capacity:
@@ -23,6 +32,7 @@ class Stash:
 
     def __init__(self, capacity: int | None = None) -> None:
         self._blocks: dict[int, Block] = {}
+        self._by_leaf: dict[int, dict[int, Block]] = {}
         self._capacity = capacity
         self._max_occupancy = 0
 
@@ -62,17 +72,43 @@ class Stash:
         """
         if block.is_dummy():
             return
+        address = block.address
+        previous = self._blocks.get(address)
         if (
             self._capacity is not None
-            and block.address not in self._blocks
+            and previous is None
             and len(self._blocks) >= self._capacity
         ):
             raise StashOverflowError(
                 f"stash overflow: capacity {self._capacity} exceeded"
             )
-        self._blocks[block.address] = block
+        if previous is not None and previous.leaf != block.leaf:
+            self._drop_from_leaf_index(address, previous.leaf)
+        self._blocks[address] = block
+        group = self._by_leaf.get(block.leaf)
+        if group is None:
+            self._by_leaf[block.leaf] = {address: block}
+        else:
+            group[address] = block
         if len(self._blocks) > self._max_occupancy:
             self._max_occupancy = len(self._blocks)
+
+    def remove_placed(self, blocks: Iterable[Block]) -> None:
+        """Batch-remove blocks the write-back placed into the tree.
+
+        Equivalent to :meth:`pop` per block, minus the per-call overhead —
+        the protocol calls this once per path write-back.
+        """
+        stash = self._blocks
+        by_leaf = self._by_leaf
+        for block in blocks:
+            address = block.address
+            if stash.pop(address, None) is not None:
+                group = by_leaf.get(block.leaf)
+                if group is not None:
+                    group.pop(address, None)
+                    if not group:
+                        del by_leaf[block.leaf]
 
     def get(self, address: int) -> Block | None:
         """Return the block at ``address`` (or ``None``) without removing it."""
@@ -80,7 +116,32 @@ class Stash:
 
     def pop(self, address: int) -> Block | None:
         """Remove and return the block at ``address`` (or ``None``)."""
-        return self._blocks.pop(address, None)
+        block = self._blocks.pop(address, None)
+        if block is not None:
+            self._drop_from_leaf_index(address, block.leaf)
+        return block
+
+    def retarget(self, address: int, new_leaf: int) -> Block | None:
+        """Point the block at ``address`` at ``new_leaf``, keeping the leaf
+        index consistent.  Returns the block, or ``None`` if absent."""
+        block = self._blocks.get(address)
+        if block is None:
+            return None
+        if block.leaf != new_leaf:
+            self._drop_from_leaf_index(address, block.leaf)
+            block.leaf = new_leaf
+            group = self._by_leaf.get(new_leaf)
+            if group is None:
+                self._by_leaf[new_leaf] = {address: block}
+            else:
+                group[address] = block
+        return block
+
+    def leaf_groups(self) -> ItemsView[int, dict[int, Block]]:
+        """``(leaf, {address: block})`` pairs for every distinct leaf that
+        currently has stash-resident blocks.  Do not mutate the stash while
+        iterating."""
+        return self._by_leaf.items()
 
     def blocks(self) -> list[Block]:
         """Snapshot list of all blocks currently in the stash."""
@@ -93,3 +154,11 @@ class Stash:
     def clear(self) -> None:
         """Remove every block (used when resetting experiments)."""
         self._blocks.clear()
+        self._by_leaf.clear()
+
+    def _drop_from_leaf_index(self, address: int, leaf: int) -> None:
+        group = self._by_leaf.get(leaf)
+        if group is not None:
+            group.pop(address, None)
+            if not group:
+                del self._by_leaf[leaf]

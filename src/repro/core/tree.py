@@ -5,14 +5,24 @@ order: the root is bucket 0 and the children of bucket ``i`` are
 ``2i + 1`` and ``2i + 2``.  Leaf ``l`` (``0 <= l < 2^L``) lives in bucket
 ``2^L - 1 + l``.
 
-Two storage back-ends are provided:
+Three storage back-ends are provided:
 
+* :class:`FlatTreeStorage` keeps every bucket in a contiguous preallocated
+  slot array — the fast functional back-end the design-space sweeps run on
+  by default.  It implements the batched path fast paths without per-bucket
+  list copies and maintains its occupancy counter in O(1).
 * :class:`PlainTreeStorage` keeps buckets as Python lists of
-  :class:`~repro.core.types.Block` — the functional back-end used by the
-  design-space sweeps, where only stash behaviour and access counts matter.
+  :class:`~repro.core.types.Block` — the straightforward reference back-end
+  the fast one is differentially tested against.
 * :class:`EncryptedTreeStorage` keeps buckets as ciphertext produced by a
   :class:`~repro.crypto.bucket_encryption.BucketCipher`, exercising the full
   randomized-encryption path of Section 2.2.
+
+:class:`TreeStorage` also defines the batched *path* operations the Path
+ORAM protocol drives (:meth:`TreeStorage.read_path_blocks` and
+:meth:`TreeStorage.write_path`) with generic per-bucket default
+implementations, so wrappers such as the integrity-verifying storage keep
+working unchanged while array-backed storage can override them wholesale.
 """
 
 from __future__ import annotations
@@ -77,6 +87,7 @@ class TreeStorage(ABC):
 
     def __init__(self, config: ORAMConfig) -> None:
         self._config = config
+        self._path_cache: dict[int, tuple[int, ...]] = {}
 
     @property
     def config(self) -> ORAMConfig:
@@ -86,9 +97,19 @@ class TreeStorage(ABC):
     def num_buckets(self) -> int:
         return self._config.num_buckets
 
-    def path(self, leaf: int) -> list[int]:
-        """Bucket indices along the path to ``leaf``, root first."""
-        return path_indices(leaf, self._config.levels)
+    def path(self, leaf: int) -> tuple[int, ...]:
+        """Bucket indices along the path to ``leaf``, root first.
+
+        Paths are memoised per leaf: the protocol touches the same table on
+        every read, write-back and dummy access, so after the first access
+        to a leaf this is a single dictionary lookup with no
+        range-revalidation.
+        """
+        path = self._path_cache.get(leaf)
+        if path is None:
+            path = tuple(path_indices(leaf, self._config.levels))
+            self._path_cache[leaf] = path
+        return path
 
     @abstractmethod
     def read_bucket(self, bucket_index: int) -> list[Block]:
@@ -106,6 +127,17 @@ class TreeStorage(ABC):
             blocks.extend(self.read_bucket(bucket_index))
         return blocks
 
+    def read_path_blocks(self, leaf: int) -> list[Block]:
+        """Batched path read used by the protocol's hot path.
+
+        Semantically identical to :meth:`read_path`; back-ends that can read
+        a whole path without per-bucket copies override this.  The default
+        delegates to :meth:`read_path` so wrapper storages (e.g. integrity
+        verification) that override ``read_path`` keep intercepting protocol
+        reads.
+        """
+        return self.read_path(leaf)
+
     def write_path(self, leaf: int, assignments: dict[int, list[Block]]) -> None:
         """Write back a path.
 
@@ -116,6 +148,20 @@ class TreeStorage(ABC):
         """
         for bucket_index in self.path(leaf):
             self.write_bucket(bucket_index, assignments.get(bucket_index, []))
+
+    def write_path_levels(self, leaf: int, level_buckets: list[list[Block] | None]) -> None:
+        """Batched path write used by the protocol's hot path.
+
+        ``level_buckets`` is aligned with the path (root first); ``None`` or
+        an empty list writes that bucket empty.  The default converts to the
+        :meth:`write_path` mapping so wrapper storages that override
+        ``write_path`` keep intercepting protocol writes.
+        """
+        assignments: dict[int, list[Block]] = {}
+        for bucket_index, blocks in zip(self.path(leaf), level_buckets):
+            if blocks:
+                assignments[bucket_index] = blocks
+        self.write_path(leaf, assignments)
 
     def occupancy(self) -> int:
         """Total number of real blocks currently stored in the tree."""
@@ -138,6 +184,116 @@ class PlainTreeStorage(TreeStorage):
                 f"bucket {bucket_index} overfilled: {len(blocks)} > Z={self._config.z}"
             )
         self._buckets[bucket_index] = list(blocks)
+
+
+class FlatTreeStorage(TreeStorage):
+    """Array-backed bucket store: the fast functional back-end.
+
+    All ``num_buckets * Z`` block slots live in one preallocated flat list;
+    bucket ``i`` owns slots ``[i*Z, (i+1)*Z)`` and ``_counts[i]`` records how
+    many of them hold real blocks.  Compared to :class:`PlainTreeStorage`
+    this avoids a per-bucket list allocation on every read and write, reads
+    whole paths in a single pass, and maintains :meth:`occupancy` as an O(1)
+    counter instead of rescanning the tree.
+
+    Behaviour is bit-identical to :class:`PlainTreeStorage` (the
+    differential property test in ``tests/test_core_properties.py`` enforces
+    this), so it is the default back-end for functional simulations.
+    """
+
+    #: Slot-array stride per bucket: slot 0 holds the bucket's real-block
+    #: count, slots 1..Z hold the blocks.  One contiguous array, one index.
+    def __init__(self, config: ORAMConfig) -> None:
+        super().__init__(config)
+        self._z = config.z
+        self._stride = config.z + 1
+        slots: list[Block | int | None] = [None] * (config.num_buckets * self._stride)
+        for bucket_index in range(config.num_buckets):
+            slots[bucket_index * self._stride] = 0
+        self._slots = slots
+        self._occupancy = 0
+        # Per-leaf tuple of bucket base offsets (bucket_index * stride),
+        # cached like the path table.
+        self._base_cache: dict[int, tuple[int, ...]] = {}
+
+    def _bases(self, leaf: int) -> tuple[int, ...]:
+        bases = self._base_cache.get(leaf)
+        if bases is None:
+            stride = self._stride
+            bases = tuple(index * stride for index in self.path(leaf))
+            self._base_cache[leaf] = bases
+        return bases
+
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        base = bucket_index * self._stride
+        return self._slots[base + 1 : base + 1 + self._slots[base]]
+
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        count = len(blocks)
+        if count > self._z:
+            raise ConfigurationError(
+                f"bucket {bucket_index} overfilled: {count} > Z={self._z}"
+            )
+        base = bucket_index * self._stride
+        slots = self._slots
+        old = slots[base]
+        slots[base + 1 : base + 1 + count] = blocks
+        for slot in range(base + 1 + count, base + 1 + old):
+            slots[slot] = None
+        slots[base] = count
+        self._occupancy += count - old
+
+    def read_path_blocks(self, leaf: int) -> list[Block]:
+        """Collect every real block on the path in one pass, no copies."""
+        slots = self._slots
+        blocks: list[Block] = []
+        append = blocks.append
+        for base in self._bases(leaf):
+            count = slots[base]
+            if count:
+                if count == 1:
+                    append(slots[base + 1])
+                else:
+                    blocks.extend(slots[base + 1 : base + 1 + count])
+        return blocks
+
+    def write_path(self, leaf: int, assignments: dict[int, list[Block]]) -> None:
+        """Write a whole path directly into the slot array."""
+        path = self.path(leaf)
+        level_buckets: list[list[Block] | None] = [
+            assignments.get(bucket_index) for bucket_index in path
+        ]
+        self.write_path_levels(leaf, level_buckets)
+
+    def write_path_levels(self, leaf: int, level_buckets: list[list[Block] | None]) -> None:
+        """Write a whole path directly into the slot array, level-aligned."""
+        slots = self._slots
+        z = self._z
+        occupancy = self._occupancy
+        # Validate before mutating anything so a mid-path overfill cannot
+        # leave the slot array and the occupancy counter inconsistent.
+        for blocks in level_buckets:
+            if blocks and len(blocks) > z:
+                raise ConfigurationError(f"bucket overfilled: {len(blocks)} > Z={z}")
+        for base, blocks in zip(self._bases(leaf), level_buckets):
+            old = slots[base]
+            if blocks:
+                count = len(blocks)
+                slots[base + 1 : base + 1 + count] = blocks
+            elif old:
+                count = 0
+            else:
+                continue
+            if old > count:
+                for slot in range(base + 1 + count, base + 1 + old):
+                    slots[slot] = None
+            slots[base] = count
+            occupancy += count - old
+        self._occupancy = occupancy
+
+    def occupancy(self) -> int:
+        """Real blocks stored in the tree — an O(1) maintained counter."""
+        return self._occupancy
 
 
 class EncryptedTreeStorage(TreeStorage):

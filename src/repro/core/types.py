@@ -17,7 +17,7 @@ class Operation(Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """One data block (cache line) stored in the ORAM tree or stash.
 

@@ -1,0 +1,193 @@
+"""Serial and multiprocessing execution of experiment grids."""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.runner.spec import ExperimentResult, ExperimentSpec
+
+try:  # pragma: no cover - stdlib
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+
+    class BrokenProcessPool(RuntimeError):  # type: ignore[no-redef]
+        pass
+
+#: Signature of a progress callback: (completed, total, latest result).
+ProgressCallback = Callable[[int, int, ExperimentResult], None]
+
+
+class RunnerError(ReproError):
+    """Raised by :meth:`ExperimentRunner.run_values` when a point failed."""
+
+
+def _execute_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one spec, capturing exceptions (module-level: must pickle)."""
+    start = time.perf_counter()
+    try:
+        value = spec.fn(**spec.call_kwargs())
+    except Exception:  # noqa: BLE001 - the envelope carries the traceback
+        return ExperimentResult(
+            key=spec.key,
+            error=traceback.format_exc(limit=8),
+            seconds=time.perf_counter() - start,
+        )
+    return ExperimentResult(
+        key=spec.key, value=value, seconds=time.perf_counter() - start
+    )
+
+
+class ExperimentRunner:
+    """Executes a batch of :class:`ExperimentSpec` points.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` runs points in-process, in order.  ``"process"`` runs
+        them on a :class:`concurrent.futures.ProcessPoolExecutor`; results
+        are reassembled in spec order, so for deterministic point functions
+        (fresh ``random.Random(seed)`` per point, as all drivers here use)
+        the output is bit-identical to serial mode.  If the pool cannot be
+        created (restricted sandboxes, missing semaphores) the runner
+        falls back to serial execution.
+    max_workers:
+        Process count for the pool (default: ``os.cpu_count()``).
+    progress:
+        Optional callback invoked after each completed point with
+        ``(completed_count, total, result)``.  In parallel mode it fires in
+        completion order from the coordinating process.
+    should_abort:
+        Optional callable polled between points (serial) or completions
+        (parallel); returning True stops the run.  Unstarted points are
+        reported as errors with ``"aborted"``.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        progress: ProgressCallback | None = None,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> None:
+        if executor not in ("serial", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self._executor = executor
+        self._max_workers = max_workers
+        self._progress = progress
+        self._should_abort = should_abort
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[ExperimentSpec]) -> list[ExperimentResult]:
+        """Execute every spec and return results in spec order."""
+        spec_list = list(specs)
+        if not spec_list:
+            return []
+        workers = self._max_workers if self._max_workers is not None else os.cpu_count() or 1
+        if self._executor == "process" and workers > 1 and len(spec_list) > 1:
+            results = self._run_process(spec_list, workers)
+            if results is not None:
+                return results
+        return self._run_serial(spec_list)
+
+    def run_values(self, specs: Iterable[ExperimentSpec]) -> list[Any]:
+        """Execute every spec and return the raw values, in spec order.
+
+        Raises
+        ------
+        RunnerError
+            If any point failed (or was aborted); the message lists every
+            failing key with its error.
+        """
+        results = self.run(specs)
+        failures = [result for result in results if not result.ok]
+        if failures:
+            details = "\n".join(f"  {result.key}: {result.error}" for result in failures[:5])
+            raise RunnerError(
+                f"{len(failures)} experiment point(s) failed:\n{details}"
+            )
+        return [result.value for result in results]
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def _report(self, done: int, total: int, result: ExperimentResult) -> None:
+        if self._progress is not None:
+            self._progress(done, total, result)
+
+    def _run_serial(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        results: list[ExperimentResult] = []
+        total = len(specs)
+        for index, spec in enumerate(specs):
+            if self._should_abort is not None and self._should_abort():
+                results.extend(
+                    ExperimentResult(key=pending.key, error="aborted")
+                    for pending in specs[index:]
+                )
+                break
+            result = _execute_spec(spec)
+            results.append(result)
+            self._report(len(results), total, result)
+        return results
+
+    def _run_process(
+        self, specs: Sequence[ExperimentSpec], workers: int
+    ) -> list[ExperimentResult] | None:
+        """Run on a process pool; ``None`` means fall back to serial."""
+        try:
+            from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        except ImportError:  # pragma: no cover - stdlib should have it
+            return None
+        total = len(specs)
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, total))
+        except (OSError, PermissionError, ValueError):  # pragma: no cover
+            # Restricted environments (no /dev/shm, no sem_open).
+            return None
+        slots: list[ExperimentResult | None] = [None] * total
+        done_count = 0
+        aborted = False
+        try:
+            with pool:
+                future_to_index = {
+                    pool.submit(_execute_spec, spec): index
+                    for index, spec in enumerate(specs)
+                }
+                pending = set(future_to_index)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = future_to_index[future]
+                        try:
+                            result = future.result()
+                        except Exception:  # noqa: BLE001 - worker crashed
+                            result = ExperimentResult(
+                                key=specs[index].key,
+                                error=traceback.format_exc(limit=8),
+                            )
+                        slots[index] = result
+                        done_count += 1
+                        self._report(done_count, total, result)
+                    if (
+                        self._should_abort is not None
+                        and pending
+                        and self._should_abort()
+                    ):
+                        for future in pending:
+                            future.cancel()
+                        aborted = True
+                        break
+        except BrokenProcessPool as exc:  # pragma: no cover
+            raise RunnerError(f"process pool broke: {exc}") from exc
+        for index, slot in enumerate(slots):
+            if slot is None:
+                slots[index] = ExperimentResult(
+                    key=specs[index].key,
+                    error="aborted" if aborted else "not executed",
+                )
+        return slots  # type: ignore[return-value]

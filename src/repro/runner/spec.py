@@ -1,0 +1,71 @@
+"""Experiment descriptions and result envelopes for the runner."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+
+def derive_seed(base_seed: int, key: Any) -> int:
+    """Derive a per-point seed from a base seed and a spec key.
+
+    Stable across processes and Python versions (unlike ``hash()``, which
+    is salted per interpreter): the key's ``repr`` is digested with SHA-256
+    together with the base seed.  Keys must therefore have a deterministic
+    ``repr`` — tuples of ints/floats/strings, as grid keys are.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of an experiment grid.
+
+    Attributes
+    ----------
+    key:
+        Hashable identifier of the point (e.g. ``(z, utilization)``); used
+        for progress reporting and seed derivation.
+    fn:
+        A picklable (module-level) callable computing the point.
+    kwargs:
+        Keyword arguments for ``fn``.  Must be picklable for the process
+        executor.
+    seed:
+        When not ``None``, passed to ``fn`` as the ``seed`` keyword —
+        callers either fix it explicitly (grid drivers replaying the
+        paper's figures) or fill it with :func:`derive_seed`.
+    """
+
+    key: Any
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+    def call_kwargs(self) -> dict[str, Any]:
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one executed :class:`ExperimentSpec`.
+
+    ``value`` holds whatever the spec's ``fn`` returned; ``error`` holds a
+    formatted exception string when the point failed (and ``value`` is
+    ``None``).  ``seconds`` is wall-clock compute time of the point and is
+    the only field that may differ between serial and parallel runs.
+    """
+
+    key: Any
+    value: Any = None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

@@ -26,11 +26,15 @@ class TestBackgroundEviction:
             assert oram.stash_occupancy <= threshold
 
     def test_smaller_z_needs_more_dummy_accesses(self):
-        # Figures 7/8: Z=1 issues far more dummy accesses than Z=4.
+        # Figures 7/8: Z=1 issues far more dummy accesses than Z=4.  The
+        # stash is kept tight (C = 60) so Z = 1 sees solid eviction pressure
+        # within a short run; at C = 100 the seed measured only ~1% dummies,
+        # which made the comparison hostage to tie-break order in the
+        # write-back.
         ratios = {}
         for z in (1, 4):
             config = ORAMConfig(
-                working_set_blocks=1024, z=z, block_bytes=16, stash_capacity=100
+                working_set_blocks=1024, z=z, block_bytes=16, stash_capacity=60
             )
             oram = PathORAM(config, eviction_policy=BackgroundEviction(), rng=random.Random(3))
             rng = random.Random(4)

@@ -5,10 +5,19 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.background_eviction import BackgroundEviction
 from repro.core.config import ORAMConfig
 from repro.core.path_oram import PathORAM, leaf_common_path_length
 from repro.core.super_block import StaticSuperBlockMapper
-from repro.core.tree import common_path_length, path_indices
+from repro.core.tree import (
+    EncryptedTreeStorage,
+    FlatTreeStorage,
+    PlainTreeStorage,
+    common_path_length,
+    path_indices,
+)
+from repro.crypto.bucket_encryption import CounterBucketCipher
+from repro.crypto.keys import ProcessorKey
 from repro.crypto.prf import Prf
 
 _SLOW = settings(max_examples=25, deadline=None,
@@ -127,6 +136,66 @@ class TestORAMProperties:
             else:
                 result = oram.read(address)
                 assert result.data == reference.get(address)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=48),
+                st.booleans(),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=5,
+            max_size=80,
+        ),
+    )
+    @_SLOW
+    def test_storage_backends_are_interchangeable(self, seed, operations):
+        """Differential test: FlatTreeStorage (the fast array-backed default),
+        PlainTreeStorage and EncryptedTreeStorage drive bit-identical
+        protocol behaviour — same AccessResult sequences, same per-access
+        stash occupancies, same counters — for the same seeded workload."""
+        config = ORAMConfig(
+            working_set_blocks=48, z=3, block_bytes=32, stash_capacity=60,
+            encryption="counter",
+        )
+        orams = {
+            "flat": PathORAM(
+                config, storage=FlatTreeStorage(config),
+                eviction_policy=BackgroundEviction(), rng=random.Random(seed),
+            ),
+            "plain": PathORAM(
+                config, storage=PlainTreeStorage(config),
+                eviction_policy=BackgroundEviction(), rng=random.Random(seed),
+            ),
+            "encrypted": PathORAM(
+                config,
+                storage=EncryptedTreeStorage(config, CounterBucketCipher(ProcessorKey(seed=5))),
+                eviction_policy=BackgroundEviction(), rng=random.Random(seed),
+            ),
+        }
+        traces = {name: [] for name in orams}
+        for address, is_write, value in operations:
+            for name, oram in orams.items():
+                if is_write:
+                    result = oram.write(address, value)
+                else:
+                    result = oram.read(address)
+                traces[name].append(
+                    (result.address, result.data, result.found,
+                     result.dummy_accesses, oram.stash_occupancy)
+                )
+        assert traces["flat"] == traces["plain"] == traces["encrypted"]
+        reference = orams["plain"]
+        for name, oram in orams.items():
+            assert oram.stats == reference.stats, name
+            assert oram.max_stash_occupancy == reference.max_stash_occupancy, name
+            assert sorted(oram.stash_addresses()) == sorted(reference.stash_addresses()), name
+            assert oram.storage.occupancy() == reference.storage.occupancy(), name
+        # The flat backend's O(1) occupancy counter agrees with a recount.
+        flat = orams["flat"].storage
+        recount = sum(len(flat.read_bucket(i)) for i in range(flat.num_buckets))
+        assert flat.occupancy() == recount
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @_SLOW

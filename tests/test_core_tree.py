@@ -8,6 +8,7 @@ from repro.core.config import ORAMConfig
 from repro.core.path_oram import leaf_common_path_length
 from repro.core.tree import (
     EncryptedTreeStorage,
+    FlatTreeStorage,
     PlainTreeStorage,
     bucket_level,
     common_path_length,
@@ -115,6 +116,62 @@ class TestPlainTreeStorage:
         storage.write_bucket(0, [Block(address=1, leaf=0)])
         storage.write_bucket(5, [Block(address=2, leaf=1), Block(address=3, leaf=1)])
         assert storage.occupancy() == 3
+
+
+class TestFlatTreeStorage:
+    def test_roundtrip_bucket(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        blocks = [Block(address=1, leaf=2, data="a"), Block(address=2, leaf=2, data="b")]
+        storage.write_bucket(0, blocks)
+        assert [b.address for b in storage.read_bucket(0)] == [1, 2]
+
+    def test_overfilled_bucket_rejected(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        blocks = [Block(address=i, leaf=0) for i in range(1, small_config.z + 2)]
+        with pytest.raises(ConfigurationError):
+            storage.write_bucket(0, blocks)
+        with pytest.raises(ConfigurationError):
+            storage.write_path_levels(0, [blocks] + [None] * small_config.levels)
+
+    def test_rewriting_smaller_bucket_clears_stale_slots(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        storage.write_bucket(0, [Block(address=1, leaf=0), Block(address=2, leaf=0)])
+        storage.write_bucket(0, [Block(address=3, leaf=0)])
+        assert [b.address for b in storage.read_bucket(0)] == [3]
+        assert storage.occupancy() == 1
+
+    def test_read_path_blocks_matches_read_path(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        path = storage.path(3)
+        storage.write_bucket(path[0], [Block(address=1, leaf=3)])
+        storage.write_bucket(path[-1], [Block(address=2, leaf=3), Block(address=3, leaf=3)])
+        assert storage.read_path_blocks(3) == storage.read_path(3)
+        assert {b.address for b in storage.read_path_blocks(3)} == {1, 2, 3}
+
+    def test_write_path_clears_unassigned_buckets(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        path = storage.path(0)
+        for index in path:
+            storage.write_bucket(index, [Block(address=1, leaf=0)])
+        storage.write_path(0, {path[0]: [Block(address=7, leaf=0)]})
+        assert [b.address for b in storage.read_bucket(path[0])] == [7]
+        for index in path[1:]:
+            assert storage.read_bucket(index) == []
+
+    def test_occupancy_is_maintained_incrementally(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        storage.write_bucket(0, [Block(address=1, leaf=0)])
+        storage.write_bucket(5, [Block(address=2, leaf=1), Block(address=3, leaf=1)])
+        assert storage.occupancy() == 3
+        storage.write_path(1, {0: [Block(address=4, leaf=1)]})
+        recount = sum(len(storage.read_bucket(i)) for i in range(storage.num_buckets))
+        assert storage.occupancy() == recount
+
+    def test_path_is_cached_and_stable(self, small_config):
+        storage = FlatTreeStorage(small_config)
+        first = storage.path(2)
+        assert storage.path(2) is first
+        assert list(first) == path_indices(2, small_config.levels)
 
 
 class TestEncryptedTreeStorage:

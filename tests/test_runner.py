@@ -1,0 +1,124 @@
+"""Unified experiment runner: determinism, ordering, errors, progress."""
+
+import pytest
+
+from repro.analysis.stash_occupancy import run_stash_occupancy_sweep
+from repro.analysis.sweep import sweep_stash_size, sweep_utilization
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunnerError,
+    derive_seed,
+)
+
+
+def _point(value, seed=0, fail=False):
+    """Module-level experiment function (picklable for the process pool)."""
+    if fail:
+        raise ValueError(f"boom on {value}")
+    import random
+
+    rng = random.Random(seed)
+    return (value, seed, rng.randrange(1_000_000))
+
+
+def _specs(values, base_seed=7):
+    return [
+        ExperimentSpec(
+            key=("point", value),
+            fn=_point,
+            kwargs={"value": value},
+            seed=derive_seed(base_seed, ("point", value)),
+        )
+        for value in values
+    ]
+
+
+class TestSeedDerivation:
+    def test_stable_and_distinct(self):
+        assert derive_seed(1, (3, 0.5)) == derive_seed(1, (3, 0.5))
+        assert derive_seed(1, (3, 0.5)) != derive_seed(2, (3, 0.5))
+        assert derive_seed(1, (3, 0.5)) != derive_seed(1, (4, 0.5))
+
+
+class TestExperimentRunner:
+    def test_serial_returns_values_in_spec_order(self):
+        values = ExperimentRunner().run_values(_specs([5, 3, 9]))
+        assert [value[0] for value in values] == [5, 3, 9]
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        specs = _specs(list(range(12)))
+        serial = ExperimentRunner(executor="serial").run_values(specs)
+        parallel = ExperimentRunner(executor="process", max_workers=2).run_values(specs)
+        assert serial == parallel
+
+    def test_errors_are_captured_per_point(self):
+        specs = [
+            ExperimentSpec(key="ok", fn=_point, kwargs={"value": 1}),
+            ExperimentSpec(key="bad", fn=_point, kwargs={"value": 2, "fail": True}),
+        ]
+        results = ExperimentRunner().run(specs)
+        assert results[0].ok and not results[1].ok
+        assert "boom on 2" in results[1].error
+        with pytest.raises(RunnerError):
+            ExperimentRunner().run_values(specs)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        runner = ExperimentRunner(progress=lambda done, total, result: seen.append((done, total)))
+        runner.run(_specs([1, 2, 3]))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_abort_stops_serial_run(self):
+        completed = []
+        runner = ExperimentRunner(
+            progress=lambda done, total, result: completed.append(result.key),
+            should_abort=lambda: len(completed) >= 2,
+        )
+        results = runner.run(_specs([1, 2, 3, 4]))
+        assert [result.ok for result in results] == [True, True, False, False]
+        assert results[-1].error == "aborted"
+
+    def test_empty_spec_list(self):
+        assert ExperimentRunner().run([]) == []
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(executor="threads")
+
+
+class TestParallelSweepDeterminism:
+    """The acceptance bar: parallel sweeps match serial ones bit-for-bit."""
+
+    def test_fig8_mini_sweep_parallel_equals_serial(self):
+        kwargs = dict(
+            z_values=[2, 4],
+            utilizations=[0.5, 0.8],
+            capacity_blocks=512,
+            num_accesses=120,
+            seed=5,
+            stash_slack=25,
+            abort_dummy_factor=15.0,
+        )
+        serial = sweep_utilization(executor="serial", **kwargs)
+        parallel = sweep_utilization(executor="process", max_workers=2, **kwargs)
+        assert serial == parallel
+        assert len(serial) == 4
+
+    def test_fig7_mini_sweep_parallel_equals_serial(self):
+        kwargs = dict(
+            z_values=[2, 3],
+            stash_sizes=[60, 100],
+            working_set_blocks=256,
+            num_accesses=150,
+            seed=3,
+        )
+        serial = sweep_stash_size(executor="serial", **kwargs)
+        parallel = sweep_stash_size(executor="process", max_workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_stash_occupancy_sweep_parallel_equals_serial(self):
+        kwargs = dict(z_values=[1, 2], working_set_blocks=256, num_accesses=600, seed=2)
+        serial = run_stash_occupancy_sweep(executor="serial", **kwargs)
+        parallel = run_stash_occupancy_sweep(executor="process", max_workers=2, **kwargs)
+        assert serial == parallel
