@@ -8,6 +8,7 @@ multi-gigabyte ORAMs; set ``REPRO_BENCH_SCALE`` (a float, default 1.0) to
 grow or shrink the workloads.
 """
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -15,6 +16,31 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+#: Engine-throughput trajectory file at the repository root; one section per
+#: perf benchmark ("flat", "hierarchical").
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def record_bench(section: str, record: dict) -> None:
+    """Merge one perf benchmark's record into ``BENCH_engine.json``.
+
+    The file holds one object per benchmark section so the flat-engine and
+    hierarchy benchmarks can each update their own entry without clobbering
+    the other (pre-sectioned flat-format files are replaced wholesale).
+    """
+    data = {}
+    if BENCH_FILE.exists():
+        try:
+            loaded = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            loaded = None
+        if isinstance(loaded, dict) and all(
+            isinstance(value, dict) for value in loaded.values()
+        ):
+            data = loaded
+    data[section] = record
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def bench_scale() -> float:
@@ -46,6 +72,46 @@ def bench_executor() -> str:
 def scaled(value: int, minimum: int = 1) -> int:
     """Scale an access count by ``REPRO_BENCH_SCALE``."""
     return max(minimum, int(value * bench_scale()))
+
+
+def prefill(oram, count: int):
+    """Access every address once so the ORAM holds its working set."""
+    for address in range(1, count + 1):
+        oram.access(address)
+    return oram
+
+
+def measure_window(oram, rng, measured: int, working_set: int) -> float:
+    """One throughput window: ``measured`` random accesses, accesses/sec.
+
+    The perf benchmarks alternate engine/seed windows and compare paired
+    ratios, so both must draw their workload from this one helper.  A short
+    untimed warm-up precedes the timed stretch: alternating two engines
+    evicts each other's code and data from the CPU caches, and without the
+    warm-up every window starts by paying the other engine's cache misses.
+    """
+    import time
+
+    warmup = max(1, measured // 20)
+    addresses = [rng.randrange(1, working_set + 1) for _ in range(warmup + measured)]
+    for address in addresses[:warmup]:
+        oram.access(address)
+    start = time.perf_counter()
+    for address in addresses[warmup:]:
+        oram.access(address)
+    return measured / (time.perf_counter() - start)
+
+
+def median_pair(pairs):
+    """The (engine, seed) window pair with the median rate ratio.
+
+    Paired adjacent windows cancel machine-load drift; taking the median
+    pair (lower-middle for even counts, the conservative side) avoids the
+    upward bias a best-pair estimator would bake into the recorded
+    trajectory.
+    """
+    ordered = sorted(pairs, key=lambda pair: pair[0] / pair[1])
+    return ordered[(len(ordered) - 1) // 2]
 
 
 def emit(title: str, text: str) -> None:

@@ -1,207 +1,94 @@
 """Engine throughput benchmark: fast path vs. the seed implementation.
 
-Measures accesses/sec of the current engine (``FlatTreeStorage`` +
-path-table caching + indexed stash eviction) against a faithful in-process
-replay of the seed hot path (``PlainTreeStorage`` reads with per-bucket
-list copies, path recomputation with range validation on every use, and a
-full-stash rescan per write-back) for the Z=4, 2^15-working-set-block
-configuration named in the engine refactor issue.
+Measures accesses/sec of the current engine (``FlatTreeStorage`` with the
+fused read/write-back slot fast path, path-table caching and indexed stash
+eviction) against a faithful in-process replay of the seed hot path
+(:mod:`seed_reference`) for the Z=4, 2^15-working-set-block configuration
+named in the engine refactor issue.
 
-The measured rates are recorded to ``BENCH_engine.json`` at the repository
-root so future PRs have a perf trajectory to beat.  The hard assertion is
-set below the observed ~4x so machine noise cannot break CI.
+The measured rates are recorded under the ``"flat"`` key of
+``BENCH_engine.json`` at the repository root so future PRs have a perf
+trajectory to beat.  Compare trajectory points on the absolute
+``engine_accesses_per_sec`` as well as the ratio: the PR-2 baseline was
+re-calibrated against the actual seed commit (the PR-1 replay inherited
+engine-side position-map and eviction-threshold caching the seed never
+had; the recalibrated replay was measured to match the real ``v0`` code's
+throughput within a few percent), so ratios before and after PR 2 are not
+directly comparable.  Engine and seed windows alternate and the speedup is
+the *median* paired (adjacent-in-time) window ratio, so machine-load drift
+between phases cannot skew the comparison and lucky windows cannot inflate
+it; the hard assertion still sits well below the recorded ratio so
+residual noise cannot break CI.
 """
 
 import json
-import math
 import random
-import time
-from pathlib import Path
 
-from conftest import emit, scaled
+from conftest import emit, measure_window, median_pair, prefill, record_bench, scaled
+from seed_reference import SeedBackgroundEviction, SeedReferenceORAM
 
-from repro.core.background_eviction import BackgroundEviction
+from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
-from repro.core.path_oram import PathORAM, leaf_common_path_length
-from repro.core.tree import PlainTreeStorage, path_indices
-from repro.errors import StashOverflowError
-
-BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+from repro.core.tree import PlainTreeStorage
 
 WORKING_SET_BLOCKS = 1 << 15
 Z = 4
 
-
-def _seed_levels(config):
-    """The seed's uncached ``ORAMConfig.levels``: recomputed on every use."""
-    total = max(1, math.ceil(config.working_set_blocks / config.utilization))
-    buckets_needed = math.ceil(total / config.z)
-    level = 0
-    while (1 << (level + 1)) - 1 < buckets_needed:
-        level += 1
-    return level
-
-
-class _SeedStash:
-    """The seed's stash: a plain address-keyed dict with no leaf index."""
-
-    def __init__(self):
-        self._blocks = {}
-        self._max_occupancy = 0
-
-    def __len__(self):
-        return len(self._blocks)
-
-    def __contains__(self, address):
-        return address in self._blocks
-
-    def __iter__(self):
-        return iter(self._blocks.values())
-
-    @property
-    def occupancy(self):
-        return len(self._blocks)
-
-    @property
-    def max_occupancy(self):
-        return self._max_occupancy
-
-    def add(self, block):
-        if block.is_dummy():
-            return
-        self._blocks[block.address] = block
-        if len(self._blocks) > self._max_occupancy:
-            self._max_occupancy = len(self._blocks)
-
-    def get(self, address):
-        return self._blocks.get(address)
-
-    def pop(self, address):
-        return self._blocks.pop(address, None)
-
-    def retarget(self, address, new_leaf):
-        block = self._blocks.get(address)
-        if block is not None:
-            block.leaf = new_leaf
-        return block
-
-    def addresses(self):
-        return list(self._blocks.keys())
-
-
-class SeedReferenceORAM(PathORAM):
-    """PathORAM with the seed repository's storage/protocol hot path.
-
-    Kept as the regression baseline: every per-access cost the engine
-    refactor removed is reproduced here — ``path_indices`` recomputed (and
-    revalidated) three times per access, the tree-depth search re-run for
-    every derived-property use, per-bucket list copies on reads, path
-    blocks individually inserted into (and popped from) an unindexed
-    stash, and the write-back rescanning that entire stash with a
-    ``leaf_common_path_length`` call per block.
-    """
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self._stash = _SeedStash()
-
-    def _read_path_into_stash(self, leaf):
-        if self._record_path_trace:
-            self._path_trace.append(leaf)
-        blocks = []
-        for bucket_index in path_indices(leaf, _seed_levels(self.config)):
-            blocks.extend(self.storage.read_bucket(bucket_index))
-        for block in blocks:
-            self._stash.add(block)
-        self._stats.record_path_read(len(blocks))
-
-    def _write_back_path(self, leaf):
-        levels = _seed_levels(self.config)
-        z = self.config.z
-        path = path_indices(leaf, _seed_levels(self.config))
-        by_deepest = [[] for _ in range(levels + 1)]
-        for block in self._stash:
-            deepest = leaf_common_path_length(block.leaf, leaf, levels) - 1
-            by_deepest[deepest].append(block)
-        assignments = {}
-        written = 0
-        available = []
-        for level in range(levels, -1, -1):
-            available.extend(by_deepest[level])
-            bucket = []
-            while available and len(bucket) < z:
-                bucket.append(available.pop())
-            if bucket:
-                assignments[path[level]] = bucket
-                written += len(bucket)
-                for block in bucket:
-                    self._stash.pop(block.address)
-        for bucket_index in path_indices(leaf, _seed_levels(self.config)):
-            self.storage.write_bucket(bucket_index, assignments.get(bucket_index, []))
-        self._stats.record_path_write(written)
-
-    def _check_stash_bound(self):
-        capacity = self.config.stash_capacity
-        if capacity is not None and self._stash.occupancy > capacity:
-            raise StashOverflowError("seed reference stash overflow")
-
-
-def _throughput(oram_factory, prefill, measured):
-    config = ORAMConfig(
-        working_set_blocks=WORKING_SET_BLOCKS, z=Z, block_bytes=128, stash_capacity=200
-    )
-    oram = oram_factory(config)
-    rng = random.Random(11)
-    for address in range(1, prefill + 1):
-        oram.access(address)
-    start = time.perf_counter()
-    for _ in range(measured):
-        oram.access(rng.randrange(1, WORKING_SET_BLOCKS + 1))
-    elapsed = time.perf_counter() - start
-    return measured / elapsed, oram
+#: Interleaved measurement windows per engine; the speedup is the median
+#: engine/seed ratio among time-adjacent window pairs.
+WINDOWS = 5
 
 
 def test_engine_throughput_vs_seed_reference(benchmark):
-    # Prefill a large part of the working set so paths actually carry
-    # blocks; measure steady-state random accesses.  The window is sized
-    # so each rate integrates over a few hundred milliseconds — short
-    # windows made the ratio swing by +/-15% run to run.
-    prefill = WORKING_SET_BLOCKS
+    # Prefill the full working set so paths actually carry blocks; measure
+    # steady-state random accesses.  The window is sized so each rate
+    # integrates over a few hundred milliseconds — short windows made the
+    # ratio swing by +/-15% run to run.
+    config = ORAMConfig(
+        working_set_blocks=WORKING_SET_BLOCKS, z=Z, block_bytes=128, stash_capacity=200
+    )
     measured = scaled(12000, minimum=2000)
 
     def _run():
-        engine_rate, engine = _throughput(
-            lambda config: PathORAM(
-                config, eviction_policy=BackgroundEviction(), rng=random.Random(7)
-            ),
-            prefill,
-            measured,
+        engine = prefill(
+            build_oram(OramSpec(protocol="flat", storage="flat"), config, seed=7),
+            WORKING_SET_BLOCKS,
         )
-        seed_rate, seed = _throughput(
-            lambda config: SeedReferenceORAM(
+        seed = prefill(
+            SeedReferenceORAM(
                 config,
                 storage=PlainTreeStorage(config),
-                eviction_policy=BackgroundEviction(),
+                eviction_policy=SeedBackgroundEviction(),
                 rng=random.Random(7),
             ),
-            prefill,
-            measured,
+            WORKING_SET_BLOCKS,
         )
+        # Same workload stream for both; each window pair runs engine then
+        # seed back to back, so a machine-load swing hits both comparably
+        # and the per-pair ratio stays meaningful.
+        engine_rng, seed_rng = random.Random(11), random.Random(11)
+        pairs = []
+        for _ in range(WINDOWS):
+            engine_window = measure_window(engine, engine_rng, measured, WORKING_SET_BLOCKS)
+            seed_window = measure_window(seed, seed_rng, measured, WORKING_SET_BLOCKS)
+            pairs.append((engine_window, seed_window))
         # Both engines must agree on the functional outcome of the run.
         assert engine.total_blocks_stored() == seed.total_blocks_stored()
-        return engine_rate, seed_rate
+        return median_pair(pairs)
 
     engine_rate, seed_rate = benchmark.pedantic(_run, rounds=1, iterations=1)
     speedup = engine_rate / seed_rate
 
     record = {
         "config": f"Z={Z}, working_set={WORKING_SET_BLOCKS} blocks, 50% utilization",
-        "measured_accesses": measured,
+        "baseline": "seed_reference replay recalibrated against the v0 seed commit in PR 2",
+        "accesses_per_window": measured,
+        "window_pairs": WINDOWS,
         "engine_accesses_per_sec": round(engine_rate, 1),
         "seed_reference_accesses_per_sec": round(seed_rate, 1),
         "speedup": round(speedup, 2),
     }
-    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    record_bench("flat", record)
     emit(
         "Engine throughput — fast path vs. seed reference "
         f"(Z={Z}, 2^15-block working set)",
@@ -210,4 +97,4 @@ def test_engine_throughput_vs_seed_reference(benchmark):
 
     # The refactor targets 3x; the hard floor is set with margin so machine
     # noise cannot break CI while still catching real regressions.
-    assert speedup >= 1.8, f"engine only {speedup:.2f}x over seed reference"
+    assert speedup >= 2.2, f"engine only {speedup:.2f}x over seed reference"

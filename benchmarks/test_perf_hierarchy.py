@@ -1,0 +1,97 @@
+"""Hierarchy throughput benchmark: recursive fast path vs. the seed chain.
+
+Measures accesses/sec of the hierarchical engine — the memoised chain walk,
+single-draw leaf buffer and closure-free ``access_position_block`` over the
+fused flat-storage Path ORAMs — against a faithful replay of the
+pre-refactor hierarchical hot path (:mod:`seed_reference`): the generic
+``access_path`` with a freshly allocated ``mutate`` closure per level,
+``randrange`` draws, and seed-style Path ORAMs underneath.
+
+The configuration is a 3-level recursive hierarchy (data ORAM plus two
+position-map ORAMs), the construction the paper's headline figures run on.
+Rates land in the ``"hierarchical"`` section of ``BENCH_engine.json``; the
+windows interleave engine and seed and the recorded speedup is the median
+paired-window ratio, so machine-load drift cannot skew the ratio and lucky
+windows cannot inflate it.
+"""
+
+import json
+import random
+
+from conftest import emit, measure_window, median_pair, prefill, record_bench, scaled
+from seed_reference import SeedReferenceHierarchicalORAM
+
+from repro.backends import OramSpec, build_oram
+from repro.core.config import HierarchyConfig, ORAMConfig
+
+WORKING_SET_BLOCKS = 1 << 13
+
+#: Interleaved measurement windows per engine; the speedup is the median
+#: engine/seed ratio among time-adjacent window pairs.
+WINDOWS = 3
+
+
+def _hierarchy() -> HierarchyConfig:
+    data = ORAMConfig(
+        working_set_blocks=WORKING_SET_BLOCKS, z=4, block_bytes=128, stash_capacity=200
+    )
+    return HierarchyConfig(
+        data_oram=data,
+        position_map_block_bytes=8,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=512,
+        name="perf-hierarchy",
+    )
+
+
+def test_hierarchy_throughput_vs_seed_reference(benchmark):
+    hierarchy = _hierarchy()
+    assert hierarchy.num_orams == 3, hierarchy.describe()
+    measured = scaled(4000, minimum=800)
+
+    def _run():
+        engine = prefill(
+            build_oram(OramSpec(protocol="hierarchical", storage="flat"), hierarchy, seed=7),
+            WORKING_SET_BLOCKS,
+        )
+        seed = prefill(
+            SeedReferenceHierarchicalORAM(hierarchy, rng=random.Random(7)),
+            WORKING_SET_BLOCKS,
+        )
+        engine_rng, seed_rng = random.Random(11), random.Random(11)
+        pairs = []
+        for _ in range(WINDOWS):
+            engine_window = measure_window(engine, engine_rng, measured, WORKING_SET_BLOCKS)
+            seed_window = measure_window(seed, seed_rng, measured, WORKING_SET_BLOCKS)
+            pairs.append((engine_window, seed_window))
+        # Both constructions must agree on the functional outcome.
+        engine_stored = sum(
+            oram.stash_occupancy + oram.storage.occupancy() for oram in engine.orams
+        )
+        assert engine_stored == seed.total_blocks_stored()
+        return median_pair(pairs)
+
+    engine_rate, seed_rate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speedup = engine_rate / seed_rate
+
+    record = {
+        "config": (
+            f"3-level recursive hierarchy, data working_set={WORKING_SET_BLOCKS} "
+            "blocks, Z=4/128B data, Z=3/8B position maps"
+        ),
+        "accesses_per_window": measured,
+        "window_pairs": WINDOWS,
+        "engine_accesses_per_sec": round(engine_rate, 1),
+        "seed_reference_accesses_per_sec": round(seed_rate, 1),
+        "speedup": round(speedup, 2),
+    }
+    record_bench("hierarchical", record)
+    emit(
+        "Hierarchy throughput — recursive fast path vs. seed chain replay "
+        "(3-level config)",
+        json.dumps(record, indent=2),
+    )
+
+    # The issue targets 2x on the recursive path; the hard floor leaves
+    # margin for machine noise while catching real regressions.
+    assert speedup >= 1.5, f"hierarchy only {speedup:.2f}x over seed reference"

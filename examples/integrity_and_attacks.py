@@ -15,20 +15,21 @@ Run with:  python examples/integrity_and_attacks.py
 import random
 
 from repro.attacks.cpl import expected_common_path_length, run_cpl_experiment
+from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
-from repro.core.path_oram import PathORAM
-from repro.crypto.bucket_encryption import CounterBucketCipher
-from repro.crypto.keys import ProcessorKey
 from repro.errors import IntegrityError
 from repro.integrity.merkle import MerkleTree
-from repro.integrity.storage import IntegrityVerifiedStorage
 
 
 def demo_integrity() -> None:
     print("--- Integrity verification (Section 5) ---")
     config = ORAMConfig(working_set_blocks=128, z=2, block_bytes=32, stash_capacity=80)
-    storage = IntegrityVerifiedStorage(config, CounterBucketCipher(ProcessorKey(seed=7)))
-    oram = PathORAM(config, storage=storage, rng=random.Random(1))
+    oram = build_oram(
+        OramSpec(protocol="flat", storage="integrity", key_seed=7),
+        config,
+        rng=random.Random(1),
+    )
+    storage = oram.storage
 
     for address in range(1, 65):
         oram.write(address, f"value-{address}".encode())

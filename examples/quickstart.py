@@ -10,11 +10,8 @@ Run with:  python examples/quickstart.py
 
 import random
 
+from repro.backends import OramSpec, build_oram
 from repro.core.config import HierarchyConfig, ORAMConfig
-from repro.core.hierarchical import HierarchicalPathORAM
-from repro.crypto.bucket_encryption import CounterBucketCipher
-from repro.crypto.keys import ProcessorKey
-from repro.integrity.storage import IntegrityVerifiedStorage
 
 
 def main() -> None:
@@ -37,17 +34,19 @@ def main() -> None:
     print(hierarchy.describe())
     print()
 
-    # 2. Build the ORAM with encrypted, integrity-verified external storage.
-    processor_key = ProcessorKey(seed=2024)
-
-    def storage_factory(config):
-        return IntegrityVerifiedStorage(config, CounterBucketCipher(processor_key))
-
-    oram = HierarchicalPathORAM(
+    # 2. Build the ORAM through the backend registry: the "integrity"
+    #    storage stack is counter-mode encryption plus the mirrored
+    #    authentication tree, and the "hierarchical" protocol walks the
+    #    recursive position-map chain.
+    oram = build_oram(
+        OramSpec(
+            protocol="hierarchical",
+            storage="integrity",
+            key_seed=2024,
+            record_path_trace=True,
+        ),
         hierarchy,
         rng=random.Random(1),
-        storage_factory=storage_factory,
-        record_path_trace=True,
     )
 
     # 3. Use it like ordinary memory.

@@ -37,20 +37,27 @@ The package is organised into subpackages, one per subsystem:
 ``repro.runner``
     The unified experiment runner: grids of independent simulation points
     executed serially or on a process pool with bit-identical results.
+
+``repro.backends``
+    The backend/scenario registry: named storage stacks and protocol
+    variants every driver builds its ORAMs through.
 """
 
+from repro.backends import OramSpec, build_oram
 from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.hierarchical import HierarchicalPathORAM
 from repro.core.interface import ORAMMemoryInterface
 from repro.core.path_oram import PathORAM
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ORAMConfig",
     "HierarchyConfig",
+    "OramSpec",
     "PathORAM",
     "HierarchicalPathORAM",
     "ORAMMemoryInterface",
+    "build_oram",
     "__version__",
 ]

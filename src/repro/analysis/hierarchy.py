@@ -12,13 +12,18 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.backends import OramSpec, build_oram
 from repro.core.config import HierarchyConfig
-from repro.core.hierarchical import HierarchicalPathORAM
 from repro.core.overhead import (
     hierarchy_overhead_breakdown,
     hierarchy_theoretical_access_overhead,
 )
 from repro.core.presets import base_oram, make_hierarchy
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+
+#: The scenario measured dummy factors run on: the recursive construction
+#: over the fast functional storage.
+HIERARCHY_SPEC = OramSpec(protocol="hierarchical", storage="flat")
 
 
 @dataclass(frozen=True)
@@ -63,10 +68,11 @@ def analytic_breakdown(name: str, hierarchy: HierarchyConfig,
     )
 
 
-def measure_dummy_factor(hierarchy: HierarchyConfig, num_accesses: int, seed: int = 0) -> float:
+def measure_dummy_factor(hierarchy: HierarchyConfig, num_accesses: int, seed: int = 0,
+                         spec: OramSpec = HIERARCHY_SPEC) -> float:
     """Measure ``(RA + DA) / RA`` for a hierarchy with random accesses."""
     rng = random.Random(seed)
-    oram = HierarchicalPathORAM(hierarchy, rng=rng)
+    oram = build_oram(spec, hierarchy, rng=rng)
     working_set = hierarchy.data_oram.working_set_blocks
     for _ in range(num_accesses):
         oram.access(rng.randrange(1, working_set + 1))
@@ -76,13 +82,46 @@ def measure_dummy_factor(hierarchy: HierarchyConfig, num_accesses: int, seed: in
     return (stats.real_accesses + stats.dummy_accesses) / stats.real_accesses
 
 
+def measure_dummy_factors(configs: dict[str, HierarchyConfig], num_accesses: int,
+                          seed: int = 0, spec: OramSpec = HIERARCHY_SPEC,
+                          executor: str = "serial", max_workers: int | None = None,
+                          progress: ProgressCallback | None = None) -> dict[str, float]:
+    """Measure every configuration's dummy factor through the runner.
+
+    Each named hierarchy is an independent seeded simulation, so
+    ``executor="process"`` computes the grid in parallel bit-identically to
+    serial mode.
+    """
+    specs = [
+        ExperimentSpec(
+            key=("fig10", name),
+            fn=measure_dummy_factor,
+            kwargs={"hierarchy": hierarchy, "num_accesses": num_accesses, "spec": spec},
+            seed=seed,
+        )
+        for name, hierarchy in configs.items()
+    ]
+    runner = ExperimentRunner(executor=executor, max_workers=max_workers, progress=progress)
+    return dict(zip(configs, runner.run_values(specs)))
+
+
 def figure10_rows(scale: float = 1.0, measure_dummies: bool = False,
-                  num_accesses: int = 2000, seed: int = 0) -> list[HierarchyOverheadRow]:
-    """Build every Figure 10 bar, optionally with measured dummy factors."""
-    rows = []
-    for name, hierarchy in figure10_configs(scale).items():
-        dummy_factor = 1.0
-        if measure_dummies:
-            dummy_factor = measure_dummy_factor(hierarchy, num_accesses, seed=seed)
-        rows.append(analytic_breakdown(name, hierarchy, dummy_factor=dummy_factor))
-    return rows
+                  num_accesses: int = 2000, seed: int = 0,
+                  executor: str = "serial", max_workers: int | None = None,
+                  progress: ProgressCallback | None = None) -> list[HierarchyOverheadRow]:
+    """Build every Figure 10 bar, optionally with measured dummy factors.
+
+    The measured-dummy grid dispatches through the experiment runner, so the
+    functional simulations parallelise like every other figure driver.
+    """
+    configs = figure10_configs(scale)
+    factors = {name: 1.0 for name in configs}
+    if measure_dummies:
+        factors = measure_dummy_factors(
+            configs, num_accesses, seed=seed,
+            executor=executor, max_workers=max_workers, progress=progress,
+        )
+    return [
+        analytic_breakdown(name, hierarchy, dummy_factor=factors[name])
+        for name, hierarchy in configs.items()
+    ]

@@ -18,18 +18,21 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.backends import OramSpec, build_memory_backend
 from repro.core.config import HierarchyConfig
-from repro.core.hierarchical import HierarchicalPathORAM
-from repro.core.interface import ORAMMemoryInterface
 from repro.core.overhead import onchip_storage
 from repro.core.presets import base_oram, dz3pb32, dz4pb32
 from repro.dram.config import DRAMConfig
 from repro.dram.oram_dram import ORAMDRAMSimulator, subtree_placement_factory
 from repro.processor.config import ProcessorConfig, table1_processor
-from repro.processor.memory import DRAMBackend, ORAMBackend
+from repro.processor.memory import DRAMBackend
 from repro.processor.simulator import ProcessorSimulator, SimulationResult
-from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
-from repro.workloads.spec_like import SPEC_PROFILES, generate_benchmark_trace
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback, derive_seed
+from repro.workloads.spec_like import benchmark_trace
+
+#: The scenario Figure 12's functional ORAMs run on: the recursive
+#: construction over the fast functional storage.
+FIGURE12_SPEC = OramSpec(protocol="hierarchical", storage="flat")
 
 #: Decryption latency per ORAM in the hierarchy, in CPU cycles (the paper's
 #: latency model is ``4 x DRAM cycles + H x decryption``; AES pipeline
@@ -138,10 +141,15 @@ def run_dram_baseline(benchmark: str, num_memory_ops: int, seed: int = 0,
                       processor: ProcessorConfig | None = None,
                       channels: int = 4,
                       warmup_operations: int | None = None) -> SimulationResult:
-    """Replay one benchmark on the insecure DRAM-backed processor."""
-    profile = SPEC_PROFILES[benchmark]
+    """Replay one benchmark on the insecure DRAM-backed processor.
+
+    The trace comes from :func:`~repro.workloads.spec_like.benchmark_trace`,
+    whose RNG is derived from ``seed`` and the trace identity — so the ORAM
+    replays of the same benchmark see the identical reference stream, in
+    serial runs and process-pool workers alike.
+    """
     warmup = _warmup_count(num_memory_ops, warmup_operations)
-    trace = generate_benchmark_trace(profile, num_memory_ops + warmup, random.Random(seed))
+    trace = benchmark_trace(benchmark, num_memory_ops + warmup, seed=seed)
     config = processor if processor is not None else table1_processor()
     backend = DRAMBackend(DRAMConfig(channels=channels), line_bytes=config.line_bytes)
     return ProcessorSimulator(config, backend).run(trace, warmup_operations=warmup)
@@ -150,19 +158,24 @@ def run_dram_baseline(benchmark: str, num_memory_ops: int, seed: int = 0,
 def run_oram_configuration(benchmark: str, configuration: Figure12Config,
                            num_memory_ops: int, seed: int = 0,
                            processor: ProcessorConfig | None = None,
-                           warmup_operations: int | None = None) -> SimulationResult:
-    """Replay one benchmark on the secure processor with one ORAM config."""
-    profile = SPEC_PROFILES[benchmark]
+                           warmup_operations: int | None = None,
+                           oram_spec: OramSpec = FIGURE12_SPEC) -> SimulationResult:
+    """Replay one benchmark on the secure processor with one ORAM config.
+
+    The trace is the same derived-seed stream the DRAM baseline replays;
+    the ORAM backend comes from the registry (``oram_spec``), seeded per
+    (benchmark, configuration) so grid points stay independent.
+    """
     warmup = _warmup_count(num_memory_ops, warmup_operations)
-    trace = generate_benchmark_trace(profile, num_memory_ops + warmup, random.Random(seed))
+    trace = benchmark_trace(benchmark, num_memory_ops + warmup, seed=seed)
     config = processor if processor is not None else table1_processor()
-    oram = HierarchicalPathORAM(configuration.hierarchy, rng=random.Random(seed + 1))
-    interface = ORAMMemoryInterface(oram)
-    backend = ORAMBackend(
-        interface,
+    backend = build_memory_backend(
+        oram_spec,
+        configuration.hierarchy,
         return_data_cycles=configuration.latency.return_data_cycles,
         finish_access_cycles=configuration.latency.finish_access_cycles,
         line_bytes=config.line_bytes,
+        seed=derive_seed(seed, ("fig12-oram", benchmark, configuration.name)),
     )
     return ProcessorSimulator(config, backend).run(trace, warmup_operations=warmup)
 

@@ -13,10 +13,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.background_eviction import NoEviction
+from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
-from repro.core.path_oram import PathORAM
 from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+
+#: The scenario of the Figure 3 study: a single fast-path ORAM, unbounded
+#: stash, no background eviction.
+OCCUPANCY_SPEC = OramSpec(protocol="flat", storage="flat", eviction="none")
 
 
 @dataclass
@@ -63,7 +66,7 @@ def run_stash_occupancy_experiment(
         stash_capacity=None,
         name=f"fig3-z{z}",
     )
-    oram = PathORAM(config, eviction_policy=NoEviction(), rng=rng, create_on_miss=True)
+    oram = build_oram(OCCUPANCY_SPEC, config, rng=rng)
     oram.stats.record_occupancy = True
     total = num_accesses if num_accesses is not None else 10 * working_set_blocks
     for _ in range(total):

@@ -19,13 +19,18 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.core.background_eviction import BackgroundEviction
+from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
 from repro.core.overhead import measured_access_overhead, theoretical_access_overhead
-from repro.core.path_oram import PathORAM
 from repro.core.stats import AccessStats
 from repro.errors import ReproError
 from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+
+#: The scenario the design-space sweeps run on: a single fast-path ORAM with
+#: background eviction (a generous livelock cap so aborts fire first).
+SWEEP_SPEC = OramSpec(
+    protocol="flat", storage="flat", eviction="background", livelock_limit=200_000
+)
 
 #: Accesses to complete before the abort threshold is consulted, so a noisy
 #: start-up phase cannot abort a configuration that would settle down.
@@ -79,6 +84,7 @@ def measure_dummy_ratio(
     seed: int = 0,
     abort_dummy_factor: float = 30.0,
     prefill: bool = True,
+    spec: OramSpec = SWEEP_SPEC,
 ) -> SweepPoint:
     """Run random accesses and measure the dummy/real ratio (Equation 1).
 
@@ -87,15 +93,12 @@ def measure_dummy_ratio(
     measurement begins — the paper's experiments likewise measure a full
     ORAM (they run ``10 N`` accesses).  The run aborts (``aborted`` is set
     and ``abort_reason`` says why) once the dummy-access count exceeds
-    ``abort_dummy_factor`` times the real accesses issued so far.
+    ``abort_dummy_factor`` times the real accesses issued so far.  The
+    backend stack comes from the registry ``spec`` (storage variants sweep
+    identically thanks to the differential backend guarantees).
     """
     rng = random.Random(seed)
-    oram = PathORAM(
-        config,
-        eviction_policy=BackgroundEviction(livelock_limit=200_000),
-        rng=rng,
-        create_on_miss=True,
-    )
+    oram = build_oram(spec, config, rng=rng)
     working_set = config.working_set_blocks
     abort_reason: str | None = None
     try:
@@ -147,12 +150,14 @@ def run_sweep(
     executor: str = "serial",
     max_workers: int | None = None,
     progress: ProgressCallback | None = None,
+    spec: OramSpec = SWEEP_SPEC,
 ) -> list[SweepPoint]:
     """Measure every configuration through the experiment runner.
 
     Points are returned in ``configs`` order; with ``executor="process"``
     they are computed in parallel, bit-identically to serial mode (each
-    point is an independent, self-seeded simulation).
+    point is an independent, self-seeded simulation whose backend is built
+    from the picklable registry ``spec`` inside the worker).
     """
     specs = [
         ExperimentSpec(
@@ -162,6 +167,7 @@ def run_sweep(
                 "config": config,
                 "num_accesses": num_accesses,
                 "abort_dummy_factor": abort_dummy_factor,
+                "spec": spec,
             },
             seed=seed,
         )

@@ -16,9 +16,9 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.background_eviction import BackgroundEviction, InsecureBlockRemapEviction
+from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
-from repro.core.path_oram import PathORAM, leaf_common_path_length
+from repro.core.path_oram import leaf_common_path_length
 from repro.errors import ConfigurationError, ReproError
 
 
@@ -116,19 +116,14 @@ def run_cpl_experiment(
     if rng is None:
         rng = random.Random()
     config = _attack_oram_config()
-    if scheme == "background":
-        policy = BackgroundEviction()
-    elif scheme == "insecure":
-        policy = InsecureBlockRemapEviction(rng=rng)
-    else:
+    if scheme not in ("background", "insecure"):
         raise ConfigurationError(f"unknown eviction scheme: {scheme!r}")
-
-    oram = PathORAM(
+    oram = build_oram(
+        OramSpec(
+            protocol="flat", storage="flat", eviction=scheme, record_path_trace=True
+        ),
         config,
-        eviction_policy=policy,
         rng=rng,
-        create_on_miss=True,
-        record_path_trace=True,
     )
     working_set = config.working_set_blocks
     trigger_pairs: list[int] = []

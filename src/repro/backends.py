@@ -1,0 +1,292 @@
+"""The backend/scenario registry: named storage stacks and protocol variants.
+
+Every driver in the repository — the analysis sweeps, the processor model's
+ORAM memory backend, the figure benchmarks and the examples — obtains its
+ORAM through this module instead of wiring storages, eviction policies and
+protocol classes together by hand.  A scenario is an :class:`OramSpec`:
+a picklable, frozen description naming
+
+* the **storage stack** (``"flat"`` — the array-backed fast functional
+  back-end, ``"plain"`` — the list-of-lists reference, ``"encrypted"`` —
+  randomized bucket encryption, ``"integrity"`` — encryption plus the
+  mirrored authentication tree), and
+* the **protocol variant** (``"flat"`` — a single :class:`PathORAM`,
+  ``"hierarchical"`` — the recursive position-map chain of
+  :class:`HierarchicalPathORAM`), and
+* the **eviction policy** (``"default"``, ``"background"``, ``"none"``,
+  ``"insecure"``).
+
+Because specs are plain frozen dataclasses they travel through
+:class:`repro.runner.ExperimentSpec` kwargs into process-pool workers, so a
+parallel grid can build its backends inside each worker bit-identically to a
+serial run.  New storage stacks can be registered with
+:func:`register_storage` without touching any driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Union
+
+from repro.core.background_eviction import (
+    BackgroundEviction,
+    EvictionPolicy,
+    InsecureBlockRemapEviction,
+    NoEviction,
+)
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.path_oram import PathORAM
+from repro.core.tree import (
+    EncryptedTreeStorage,
+    FlatTreeStorage,
+    PlainTreeStorage,
+    TreeStorage,
+)
+from repro.crypto.bucket_encryption import CounterBucketCipher, StrawmanBucketCipher
+from repro.crypto.keys import ProcessorKey
+from repro.errors import ConfigurationError
+from repro.integrity.storage import IntegrityVerifiedStorage
+
+#: A storage factory builds one tree storage for one ORAM of a scenario.
+StorageFactory = Callable[[ORAMConfig], TreeStorage]
+
+#: A storage builder turns a spec into a factory (called once per ORAM).
+StorageBuilder = Callable[["OramSpec"], StorageFactory]
+
+Backend = Union[PathORAM, HierarchicalPathORAM]
+
+PROTOCOLS = ("flat", "hierarchical")
+EVICTION_POLICIES = ("default", "background", "none", "insecure")
+
+_STORAGE_BUILDERS: dict[str, StorageBuilder] = {}
+
+
+def register_storage(name: str) -> Callable[[StorageBuilder], StorageBuilder]:
+    """Register a storage stack under ``name`` (decorator).
+
+    The builder receives the full :class:`OramSpec` and returns a factory
+    mapping each ORAM's configuration to a fresh :class:`TreeStorage`.
+    """
+
+    def deco(builder: StorageBuilder) -> StorageBuilder:
+        _STORAGE_BUILDERS[name] = builder
+        return builder
+
+    return deco
+
+
+def storage_backends() -> tuple[str, ...]:
+    """Names of every registered storage stack."""
+    return tuple(sorted(_STORAGE_BUILDERS))
+
+
+@dataclass(frozen=True)
+class OramSpec:
+    """One named ORAM scenario: protocol + storage stack + eviction policy.
+
+    Parameters
+    ----------
+    protocol:
+        ``"flat"`` (single Path ORAM) or ``"hierarchical"`` (recursive
+        position-map chain).
+    storage:
+        A registered storage stack name; see :func:`storage_backends`.
+    eviction:
+        ``"default"`` leaves the choice to the protocol (background eviction
+        for bounded stashes, none otherwise), ``"background"`` / ``"none"``
+        / ``"insecure"`` force a policy.  Hierarchical ORAMs run eviction at
+        the hierarchy level and accept only ``"default"``.
+    key_seed:
+        Seed for the processor key of the encrypted/integrity stacks (kept
+        in the spec so pool workers derive identical ciphers).
+    create_on_miss / record_path_trace / livelock_limit:
+        Forwarded to the protocol object.
+    """
+
+    protocol: str = "flat"
+    storage: str = "flat"
+    eviction: str = "default"
+    key_seed: int = 0
+    create_on_miss: bool = True
+    record_path_trace: bool = False
+    livelock_limit: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; expected one of {PROTOCOLS}"
+            )
+        if self.storage not in _STORAGE_BUILDERS:
+            raise ConfigurationError(
+                f"unknown storage stack {self.storage!r}; "
+                f"registered: {storage_backends()}"
+            )
+        if self.eviction not in EVICTION_POLICIES:
+            raise ConfigurationError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if self.protocol == "hierarchical" and self.eviction != "default":
+            raise ConfigurationError(
+                "hierarchical ORAMs evict at the hierarchy level; "
+                "use eviction='default'"
+            )
+        if self.protocol == "hierarchical" and not self.create_on_miss:
+            raise ConfigurationError(
+                "the recursive construction materialises missing blocks "
+                "(position-map blocks must exist); create_on_miss=False is "
+                "only meaningful for the flat protocol"
+            )
+
+    def with_updates(self, **kwargs: Any) -> "OramSpec":
+        """Copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in storage stacks
+# ----------------------------------------------------------------------
+@register_storage("flat")
+def _flat_storage(spec: OramSpec) -> StorageFactory:
+    return FlatTreeStorage
+
+
+@register_storage("plain")
+def _plain_storage(spec: OramSpec) -> StorageFactory:
+    return PlainTreeStorage
+
+
+def _cipher_for(config: ORAMConfig, key: ProcessorKey):
+    if config.encryption == "strawman":
+        return StrawmanBucketCipher(key)
+    return CounterBucketCipher(key)
+
+
+@register_storage("encrypted")
+def _encrypted_storage(spec: OramSpec) -> StorageFactory:
+    key = ProcessorKey(seed=spec.key_seed)
+
+    def factory(config: ORAMConfig) -> TreeStorage:
+        return EncryptedTreeStorage(config, _cipher_for(config, key))
+
+    return factory
+
+
+@register_storage("integrity")
+def _integrity_storage(spec: OramSpec) -> StorageFactory:
+    key = ProcessorKey(seed=spec.key_seed)
+
+    def factory(config: ORAMConfig) -> TreeStorage:
+        return IntegrityVerifiedStorage(config, _cipher_for(config, key))
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def storage_factory(spec: OramSpec) -> StorageFactory:
+    """The storage factory for a spec's storage stack."""
+    return _STORAGE_BUILDERS[spec.storage](spec)
+
+
+def _eviction_policy(
+    spec: OramSpec, config: ORAMConfig, rng: random.Random
+) -> EvictionPolicy:
+    if spec.eviction == "default":
+        # The protocol's own default choice — background eviction for a
+        # bounded stash, none otherwise — but honouring the spec's
+        # livelock limit.
+        if config.stash_capacity is None:
+            return NoEviction()
+        return BackgroundEviction(livelock_limit=spec.livelock_limit)
+    if spec.eviction == "none":
+        return NoEviction()
+    if spec.eviction == "background":
+        return BackgroundEviction(livelock_limit=spec.livelock_limit)
+    return InsecureBlockRemapEviction(rng=rng, livelock_limit=spec.livelock_limit)
+
+
+def _resolve_rng(seed: int | None, rng: random.Random | None) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def build_oram(
+    spec: OramSpec,
+    config: ORAMConfig | HierarchyConfig,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Backend:
+    """Build the ORAM a spec describes over ``config``.
+
+    ``config`` must be an :class:`ORAMConfig` for the flat protocol and a
+    :class:`HierarchyConfig` for the hierarchical one.  Pass either a
+    ``seed`` (the common runner-driven case) or an explicit ``rng``.
+    """
+    rng = _resolve_rng(seed, rng)
+    if spec.protocol == "flat":
+        if isinstance(config, HierarchyConfig):
+            raise ConfigurationError(
+                "flat protocol takes an ORAMConfig; "
+                "got a HierarchyConfig (use protocol='hierarchical')"
+            )
+        factory = storage_factory(spec)
+        return PathORAM(
+            config,
+            storage=factory(config),
+            eviction_policy=_eviction_policy(spec, config, rng),
+            rng=rng,
+            create_on_miss=spec.create_on_miss,
+            record_path_trace=spec.record_path_trace,
+        )
+    if not isinstance(config, HierarchyConfig):
+        raise ConfigurationError(
+            "hierarchical protocol takes a HierarchyConfig; "
+            "wrap the data ORAMConfig in one (or use protocol='flat')"
+        )
+    return HierarchicalPathORAM(
+        config,
+        rng=rng,
+        storage_factory=storage_factory(spec),
+        record_path_trace=spec.record_path_trace,
+        livelock_limit=spec.livelock_limit,
+    )
+
+
+def build_interface(
+    spec: OramSpec,
+    config: ORAMConfig | HierarchyConfig,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> ORAMMemoryInterface:
+    """Build the exclusive-ORAM front-end a secure processor talks to."""
+    return ORAMMemoryInterface(build_oram(spec, config, seed=seed, rng=rng))
+
+
+def build_memory_backend(
+    spec: OramSpec,
+    config: ORAMConfig | HierarchyConfig,
+    return_data_cycles: float,
+    finish_access_cycles: float,
+    line_bytes: int = 128,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+):
+    """Build the processor model's ORAM memory backend for a scenario.
+
+    Imports locally to keep ``repro.backends`` importable without the
+    processor subsystem.
+    """
+    from repro.processor.memory import ORAMBackend
+
+    return ORAMBackend(
+        build_interface(spec, config, seed=seed, rng=rng),
+        return_data_cycles=return_data_cycles,
+        finish_access_cycles=finish_access_cycles,
+        line_bytes=line_bytes,
+    )

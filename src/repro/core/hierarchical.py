@@ -7,6 +7,14 @@ chain outermost-first: each position-map lookup yields the leaf to read in
 the next (larger) ORAM and simultaneously installs the fresh leaf that ORAM
 is being remapped to.
 
+The chain walk is the hierarchy's fast path: every round draws the whole
+stack of fresh leaves into one reused buffer (a single ``getrandbits`` per
+ORAM), resolves the per-level ``(block, slot)`` coordinates from a memoised
+chain table, and drives each position-map ORAM through
+:meth:`PathORAM.access_position_block` — the closure-free combined
+lookup/install — so a recursive access costs H path operations and nothing
+else.
+
 Background eviction follows Section 3.1.1: whenever *any* stash in the
 hierarchy exceeds its threshold, a dummy access is issued to *every* ORAM in
 the same order as a normal access (smallest first, data ORAM last), so dummy
@@ -78,15 +86,38 @@ class HierarchicalPathORAM:
             hierarchy.labels_per_position_block(self._configs[i])
             for i in range(len(self._configs) - 1)
         ]
+        self._child_num_leaves = [config.num_leaves for config in self._configs]
         outer = self._configs[-1]
         self._onchip_position_map = PositionMap(
             outer.position_map_entries, outer.num_leaves, rng=self._rng
         )
         self._stats = AccessStats()
         self._livelock_limit = livelock_limit
-        # Hot-path caches for the background-eviction rounds: dummy rounds
-        # re-check every stash threshold after every round, and each round
-        # walks the ORAMs smallest-first (the reverse of construction order).
+        # Hot-path caches for the chain walk and the eviction rounds:
+        # * one reused buffer of fresh leaves, filled by a single
+        #   getrandbits draw per ORAM (leaf counts are powers of two);
+        # * the (block, slot) chain per data-ORAM group, memoised — the
+        #   divmod ladder is pure arithmetic on the group id;
+        # * the on-chip position map's entry list, so the outermost
+        #   lookup/install is one list index;
+        # * dummy rounds walk the ORAMs smallest-first (the reverse of
+        #   construction order) and re-check only stashes with a threshold.
+        self._leaf_bits = [(config.num_leaves - 1).bit_length() for config in self._configs]
+        self._new_leaves = [0] * len(self._configs)
+        self._getrandbits = self._rng.getrandbits
+        # Chain memoisation is worth one dict entry per accessed group only
+        # while the map stays small (like path_oram's _deepest_table, which
+        # is disabled for big trees); past the cutoff the divmod ladder is
+        # recomputed per access.
+        data_groups = self._orams[0].super_block_mapper.num_groups(
+            self._configs[0].working_set_blocks
+        )
+        self._chain_cache: dict[int, tuple[tuple[int, int], ...]] | None = (
+            {} if data_groups <= 1 << 16 else None
+        )
+        self._data_group_of = self._orams[0].super_block_mapper.group_of
+        self._onchip_leaves = self._onchip_position_map.leaves
+        self._pending_data_leaf = 0
         self._eviction_order = tuple(reversed(self._orams))
         self._thresholded_orams = tuple(
             (oram, oram.eviction_threshold)
@@ -132,9 +163,8 @@ class HierarchicalPathORAM:
         result = self._orams[0].access_path(
             address, current_leaf, self._pending_data_leaf, op, data
         )
-        self._stats.record_real_access()
-        dummy_rounds = self._run_background_eviction()
-        result.dummy_accesses = dummy_rounds
+        self._stats.real_accesses += 1
+        result.dummy_accesses = self._run_background_eviction()
         return result
 
     def read(self, address: int) -> AccessResult:
@@ -148,7 +178,7 @@ class HierarchicalPathORAM:
         the data ORAM (position-map ORAMs are traversed normally)."""
         current_leaf = self._resolve_position_chain(address)
         extracted = self._orams[0].extract_path(address, current_leaf, self._pending_data_leaf)
-        self._stats.record_real_access()
+        self._stats.real_accesses += 1
         self._run_background_eviction()
         return extracted
 
@@ -165,17 +195,20 @@ class HierarchicalPathORAM:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _identifier_chain(self, address: int) -> list[tuple[int, int]]:
+    def _chain_for(self, group: int) -> tuple[tuple[int, int], ...]:
         """For each position-map ORAM (innermost data side first), the
         ``(block_address, slot)`` holding the child's leaf label."""
         chain: list[tuple[int, int]] = []
-        identifier = self._orams[0].super_block_mapper.group_of(address)
+        identifier = group
         for labels_per_block in self._labels_per_block:
             block_address = identifier // labels_per_block + 1
-            slot = identifier % labels_per_block
-            chain.append((block_address, slot))
+            chain.append((block_address, identifier % labels_per_block))
             identifier = block_address - 1
-        return chain
+        return tuple(chain)
+
+    def _identifier_chain(self, address: int) -> list[tuple[int, int]]:
+        """Back-compat view of the chain for ``address`` (tests/tools)."""
+        return list(self._chain_for(self._data_group_of(address)))
 
     def _resolve_position_chain(self, address: int) -> int:
         """Walk the position-map ORAMs outermost-first.
@@ -184,59 +217,56 @@ class HierarchicalPathORAM:
         and leaves the freshly drawn new data-ORAM leaf in
         ``self._pending_data_leaf``.  Every position-map ORAM along the way
         is accessed (and its relevant entry updated to the child's new
-        leaf), exactly as ``accessHORAM`` prescribes.
+        leaf) through :meth:`PathORAM.access_position_block`, exactly as
+        ``accessHORAM`` prescribes.
         """
-        chain = self._identifier_chain(address)
-        new_leaves = [self._rng.randrange(cfg.num_leaves) for cfg in self._configs]
+        group = self._data_group_of(address)
+        new_leaves = self._new_leaves
+        getrandbits = self._getrandbits
+        for index, bits in enumerate(self._leaf_bits):
+            new_leaves[index] = getrandbits(bits) if bits else 0
         self._pending_data_leaf = new_leaves[0]
+
+        cache = self._chain_cache
+        if cache is None:
+            chain = self._chain_for(group)
+        else:
+            chain = cache.get(group)
+            if chain is None:
+                chain = cache[group] = self._chain_for(group)
 
         if not chain:
             # Single-ORAM hierarchy: the on-chip map holds data leaves directly.
-            group = self._orams[0].super_block_mapper.group_of(address)
-            current = self._onchip_position_map.lookup(group)
-            self._onchip_position_map.assign(group, new_leaves[0])
+            onchip = self._onchip_leaves
+            current = onchip[group]
+            onchip[group] = new_leaves[0]
             return current
 
-        # The outermost position-map ORAM's own leaf comes from the on-chip map.
+        # The outermost position-map ORAM's own leaf comes from the on-chip
+        # map (position-map ORAMs always use single-member groups, so the
+        # group id is just the block address less one).
         outer_index = len(self._configs) - 1
-        outer_block_address, _ = chain[-1]
-        outer_group = self._orams[outer_index].super_block_mapper.group_of(outer_block_address)
-        current_leaf = self._onchip_position_map.lookup(outer_group)
-        self._onchip_position_map.assign(outer_group, new_leaves[outer_index])
+        onchip = self._onchip_leaves
+        outer_group = chain[-1][0] - 1
+        current_leaf = onchip[outer_group]
+        onchip[outer_group] = new_leaves[outer_index]
 
         # Walk from the outermost position-map ORAM inwards to ORAM_2.
+        orams = self._orams
+        labels_per_block = self._labels_per_block
+        child_num_leaves = self._child_num_leaves
         for oram_index in range(outer_index, 0, -1):
-            block_address, slot = chain[oram_index - 1]
-            child_config = self._configs[oram_index - 1]
-            child_new_leaf = new_leaves[oram_index - 1]
-            labels_per_block = self._labels_per_block[oram_index - 1]
-            captured: dict[str, int] = {}
-
-            def mutate(labels: Any, *,
-                       _slot: int = slot,
-                       _k: int = labels_per_block,
-                       _child_leaves: int = child_config.num_leaves,
-                       _new: int = child_new_leaf,
-                       _captured: dict[str, int] = captured) -> list[int]:
-                if labels is None:
-                    labels = [self._rng.randrange(_child_leaves) for _ in range(_k)]
-                else:
-                    labels = list(labels)
-                _captured["current"] = labels[_slot]
-                labels[_slot] = _new
-                return labels
-
-            self._orams[oram_index].access_path(
+            child_index = oram_index - 1
+            block_address, slot = chain[child_index]
+            current_leaf = orams[oram_index].access_position_block(
                 block_address,
                 current_leaf,
                 new_leaves[oram_index],
-                Operation.READ,
-                None,
-                mutate=mutate,
+                slot,
+                new_leaves[child_index],
+                labels_per_block[child_index],
+                child_num_leaves[child_index],
             )
-            if "current" not in captured:
-                raise ReproError("position-map block mutation did not run")
-            current_leaf = captured["current"]
         return current_leaf
 
     def _run_background_eviction(self) -> int:
@@ -246,10 +276,11 @@ class HierarchicalPathORAM:
             for oram in self._eviction_order:  # smallest ORAM first, data last
                 oram.dummy_access()
             rounds += 1
-            self._stats.record_dummy_access()
+            self._stats.dummy_accesses += 1
             if rounds > self._livelock_limit:
                 raise ReproError("hierarchical background eviction livelock")
-        self._check_stash_bounds()
+        if rounds:
+            self._check_stash_bounds()
         return rounds
 
     def _any_stash_over_threshold(self) -> bool:

@@ -8,9 +8,16 @@ pluggable tree storage back-end, with:
 * an exclusive-ORAM API (:meth:`extract` / :meth:`insert`) used by the
   processor integration (Section 3.3.1),
 * an ``access_path`` entry point used by the hierarchical construction
-  (Section 2.3), and
+  (Section 2.3) plus a closure-free :meth:`access_position_block` fast path
+  for the recursive position-map chain, and
 * an optional adversary-visible trace of accessed leaves, used by the
   common-path-length attack (Section 3.1.3).
+
+The write-back is a single flattened pass: candidates are bucketed once by
+the deepest level they may occupy (one precomputed-table lookup per distinct
+stash leaf and per path-buffer block) and then, when the back-end is the
+array-backed :class:`FlatTreeStorage`, placed directly into its slot array —
+no intermediate per-level bucket lists and no second walk over the path.
 """
 
 from __future__ import annotations
@@ -91,12 +98,41 @@ class PathORAM:
         # so they must not go through the derived-property machinery.
         self._levels = config.levels
         self._z = config.z
+        self._working_set = config.working_set_blocks
         self._eviction_threshold = config.eviction_threshold
+        # The fused read/write-back fast paths talk straight to
+        # FlatTreeStorage's slot array (friend access to _slots, _bases and
+        # _occupancy).  Subclasses of the flat storage may intercept path
+        # operations, so only the exact type takes the fused paths.
+        self._fused = type(self._storage) is FlatTreeStorage
+        # Per-leaf (bases, reversed bases) pairs: one dict lookup serves the
+        # root-first read walk and the deepest-first placement walk (the
+        # bases tuples are shared with the storage's own cache by reference).
+        # Like the deepest-level table below, the cache is only kept for
+        # moderate trees; huge ones re-reverse the bases tuple per read
+        # instead of holding one extra tuple per distinct leaf.
+        self._slots = self._storage._slots if self._fused else None  # noqa: SLF001
+        self._path_pairs: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] | None = (
+            {} if config.num_leaves <= 1 << 16 else None
+        )
         # Scratch lists reused by every write-back: candidate blocks from
         # the stash and from the pending path buffer, bucketed by the
         # deepest level they may occupy on the path being written.
         self._by_deepest_stash: list[list[Block]] = [[] for _ in range(self._levels + 1)]
         self._by_deepest_buffer: list[list[Block]] = [[] for _ in range(self._levels + 1)]
+        # Pre-bound append methods, one per class list: bucketing a buffer
+        # block is then a single call with no attribute hop.
+        self._buffer_appends = [ready.append for ready in self._by_deepest_buffer]
+        # The same class lists in deepest-first order, so the placement walk
+        # can zip over (path bucket, buffer class, stash class) triples
+        # without indexing three lists per level.
+        self._by_buffer_rev = list(reversed(self._by_deepest_buffer))
+        self._by_stash_rev = list(reversed(self._by_deepest_stash))
+        # Levels 0..d can hold at most Z(d+1) blocks in total, so at most
+        # Z(d+1) candidates of deepest-class d can ever be placed; stash
+        # bucketing stops collecting a class once it holds that many, which
+        # skips most of the (shallow-classed) stash when the stash is full.
+        self._class_cap = [config.z * (d + 1) for d in range(self._levels + 1)]
         # deepest legal level = levels - bit_length(leaf_a XOR leaf_b); for
         # moderate trees a lookup table turns that into one list index on
         # the write-back hot path (64K leaves = 512 KB, a wash for bigger
@@ -112,8 +148,10 @@ class PathORAM:
         # and the path write-back.  Most of them go straight back into the
         # tree, so keeping them out of the stash's indexes until the
         # write-back decides they must stay avoids two index updates per
-        # pass-through block.  Consumed (and reset) by every write-back.
-        self._path_buffer: list[Block] = []
+        # pass-through block.  Consumed by every write-back (a shared tuple
+        # sentinel marks the no-pending-path state without an allocation).
+        self._path_buffer: list[Block] | tuple[Block, ...] = ()
+        self._path_rbases: tuple[int, ...] = ()
         self._transient_peak = 0
         self._mapper = (
             super_block_mapper
@@ -121,9 +159,27 @@ class PathORAM:
             else StaticSuperBlockMapper(config.super_block_size)
         )
         self._single_member_groups = self._mapper.group_size == 1
+        self._group_of = self._mapper.group_of
         num_groups = self._mapper.num_groups(config.working_set_blocks)
         self._position_map = PositionMap(num_groups, config.num_leaves, rng=self._rng)
+        # Friend access for the per-access hot path: lookup/assign become a
+        # plain list index, and leaf draws a cached bound method (same RNG
+        # stream as PositionMap.random_leaf).
+        self._pm_leaves = self._position_map.leaves
+        self._random_leaf = self._position_map.random_leaf
+        # Leaf counts are powers of two (full binary trees), so a fresh leaf
+        # is one getrandbits call — the same stream PositionMap.random_leaf
+        # draws from, without the method-call hop.
+        self._draw_bits = (config.num_leaves - 1).bit_length()
+        self._getrandbits = self._rng.getrandbits
         self._stash = Stash(capacity=None)
+        # Friend views of the stash's two dicts for the per-access hot path
+        # (`len`, membership and leaf-group iteration without method hops).
+        # Stash.clear() empties but never replaces them.  Subclasses that
+        # swap in a different stash implementation must override the methods
+        # that use these views.
+        self._stash_blocks = self._stash._blocks  # noqa: SLF001
+        self._stash_by_leaf = self._stash._by_leaf  # noqa: SLF001
         if eviction_policy is not None:
             self._eviction = eviction_policy
         elif config.stash_capacity is None:
@@ -227,19 +283,53 @@ class PathORAM:
         super-block group to a fresh random leaf, writes the path back, and
         finally lets the background-eviction policy issue dummy accesses.
         """
-        self._check_address(address)
-        group = self._mapper.group_of(address)
-        position_map = self._position_map
-        old_leaf = position_map.lookup(group)
-        new_leaf = position_map.random_leaf()
-        position_map.assign(group, new_leaf)
-        result = self._access_path(address, group, old_leaf, new_leaf, op, data)
+        if not 1 <= address <= self._working_set:
+            raise ConfigurationError(
+                f"address {address} outside [1, {self._working_set}]"
+            )
+        group = address - 1 if self._single_member_groups else self._group_of(address)
+        leaves = self._pm_leaves
+        old_leaf = leaves[group]
+        bits = self._draw_bits
+        new_leaf = self._getrandbits(bits) if bits else self._random_leaf()
+        leaves[group] = new_leaf
+        # Inlined _access_path for the dominant single-member case; the
+        # grouped (super-block) case routes through the shared helper.
+        if self._single_member_groups:
+            self._read_path_into_stash(old_leaf)
+            block = self._stash_blocks.get(address)
+            in_stash = block is not None
+            if block is None:
+                for candidate in self._path_buffer:
+                    if candidate.address == address:
+                        block = candidate
+                        break
+            found = block is not None
+            if block is None:
+                if op is Operation.WRITE or self._create_on_miss:
+                    block = Block(address=address, leaf=new_leaf, data=None)
+                    self._stash.add(block)
+                    in_stash = True
+            if block is not None:
+                if op is Operation.WRITE:
+                    block.data = data
+                if in_stash:
+                    self._stash.retarget(address, new_leaf)
+                else:
+                    block.leaf = new_leaf  # buffer blocks are unindexed
+                result_data = block.data
+            else:
+                result_data = None
+            self._write_back_path(old_leaf)
+            result = AccessResult(address, result_data, found)
+        else:
+            result = self._access_path(address, group, old_leaf, new_leaf, op, data)
         stats = self._stats
         stats.real_accesses += 1
         if stats.record_occupancy:
-            stats.stash_occupancy_samples.append(len(self._stash))
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
         gate = self._eviction_gate
-        if gate is not None and len(self._stash) <= gate:
+        if gate is not None and len(self._stash_blocks) <= gate:
             dummy_count = 0
         else:
             dummy_count = self._eviction.after_access(self)
@@ -269,9 +359,7 @@ class PathORAM:
         comes from the parent position-map ORAM.
 
         ``mutate``, when given, is a callable applied to the block's payload
-        while the block sits in the stash (read-modify-write); the
-        hierarchical ORAM uses it to swap one leaf label inside a
-        position-map block.
+        while the block sits in the stash (read-modify-write).
         """
         self._check_address(address)
         group = self._mapper.group_of(address)
@@ -281,6 +369,66 @@ class PathORAM:
         self._stats.sample_stash_occupancy(self._stash.occupancy)
         result.dummy_accesses = 0
         return result
+
+    def access_position_block(
+        self,
+        address: int,
+        current_leaf: int,
+        new_leaf: int,
+        slot: int,
+        child_new_leaf: int,
+        labels_per_block: int,
+        child_num_leaves: int,
+    ) -> int:
+        """One position-map ORAM access of the recursive construction.
+
+        Reads the position-map block at ``address`` along ``current_leaf``,
+        returns the child leaf stored in ``slot`` and installs
+        ``child_new_leaf`` in its place — the combined lookup/update of
+        ``accessHORAM`` — then remaps the block to ``new_leaf`` and writes
+        the path back.  A block that was never written materialises with
+        uniformly random child leaves, mirroring the initial random position
+        map.
+
+        The caller (the hierarchical ORAM) guarantees ``new_leaf`` is in
+        range and that this ORAM uses single-member groups, so the generic
+        ``mutate``-closure path and its per-access allocations are skipped.
+        """
+        if not 1 <= address <= self._working_set:
+            raise ConfigurationError(
+                f"address {address} outside [1, {self._working_set}]"
+            )
+        self._pm_leaves[address - 1] = new_leaf
+        self._read_path_into_stash(current_leaf)
+        stash = self._stash
+        block = stash.get(address)
+        in_stash = block is not None
+        if block is None:
+            for candidate in self._path_buffer:
+                if candidate.address == address:
+                    block = candidate
+                    break
+        if block is None:
+            block = Block(address=address, leaf=new_leaf, data=None)
+            stash.add(block)
+            in_stash = True
+        labels = block.data
+        if labels is None:
+            randrange = self._rng.randrange
+            labels = [randrange(child_num_leaves) for _ in range(labels_per_block)]
+            block.data = labels
+        child_current_leaf = labels[slot]
+        labels[slot] = child_new_leaf
+        if in_stash:
+            stash.retarget(address, new_leaf)
+        else:
+            block.leaf = new_leaf  # buffer blocks are unindexed
+        self._write_back_path(current_leaf)
+        stats = self._stats
+        stats.real_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
+        return child_current_leaf
 
     def extract_path(self, address: int, current_leaf: int, new_leaf: int) -> dict[int, Any]:
         """Exclusive-ORAM extraction with externally supplied leaves.
@@ -293,14 +441,19 @@ class PathORAM:
         group = self._mapper.group_of(address)
         self._position_map.assign(group, new_leaf)
         self._read_path_into_stash(current_leaf)
-        extracted = self._collect_group(address, group)
+        extracted = self._collect_group(address, group, current_leaf)
         self._write_back_path(current_leaf)
         self._stats.record_real_access()
         self._stats.sample_stash_occupancy(self._stash.occupancy)
         return extracted
 
-    def _collect_group(self, address: int, group: int) -> dict[int, Any]:
+    def _collect_group(self, address: int, group: int, current_leaf: int) -> dict[int, Any]:
         """Remove the requested super-block group from the stash.
+
+        By the super-block invariant every stash-resident member sits in the
+        ``current_leaf`` bucket of the stash's leaf index, so the whole group
+        comes out as one bucket split (:meth:`Stash.pop_range`) plus a single
+        pass over the pending path buffer — not one lookup per member.
 
         With ``create_on_miss`` (the secure-processor setting, where the
         whole address space logically lives in the ORAM) members that have
@@ -308,16 +461,46 @@ class PathORAM:
         super-block prefetching moves the entire group into the cache as
         Section 3.2 prescribes.
         """
+        span = self._mapper.group_span(group)
+        if span is None:
+            return self._collect_group_generic(address, group)
+        lo, hi = span
+        found: dict[int, Any] = {}
+        for block in self._stash.pop_range(current_leaf, lo, hi):
+            found[block.address] = block.data
+        buffer = self._path_buffer
+        kept: list[Block] = []
+        keep = kept.append
+        for candidate in buffer:
+            if lo <= candidate.address < hi:
+                found[candidate.address] = candidate.data
+            else:
+                keep(candidate)
+        if len(kept) != len(buffer):
+            self._path_buffer = kept
+        extracted: dict[int, Any] = {}
+        create = self._create_on_miss
+        for member in range(lo, min(hi, self._working_set + 1)):
+            if member in found:
+                extracted[member] = found[member]
+            elif create:
+                extracted[member] = None
+        return extracted
+
+    def _collect_group_generic(self, address: int, group: int) -> dict[int, Any]:
+        """Member-at-a-time collection for custom (non-contiguous) mappers."""
         extracted: dict[int, Any] = {}
         buffer = self._path_buffer
         for member in self._mapper.addresses_in_group(group):
-            if member > self._config.working_set_blocks:
+            if member > self._working_set:
                 continue
             block = self._stash.pop(member)
             if block is None:
                 for index, candidate in enumerate(buffer):
                     if candidate.address == member:
                         block = candidate
+                        if type(buffer) is not list:
+                            buffer = self._path_buffer = list(buffer)
                         del buffer[index]
                         break
             if block is not None:
@@ -334,13 +517,14 @@ class PathORAM:
         Reads a uniformly random path and writes back as many blocks as
         possible; no block is remapped, so the stash cannot grow.
         """
-        leaf = self._position_map.random_leaf()
+        bits = self._draw_bits
+        leaf = self._getrandbits(bits) if bits else self._random_leaf()
         self._read_path_into_stash(leaf)
         self._write_back_path(leaf)
         stats = self._stats
         stats.dummy_accesses += 1
         if stats.record_occupancy:
-            stats.stash_occupancy_samples.append(len(self._stash))
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
 
     def remap_access(self, address: int) -> None:
         """Access-and-remap used by the *insecure* eviction scheme.
@@ -351,10 +535,10 @@ class PathORAM:
         """
         group = self._mapper.group_of(address)
         old_leaf = self._position_map.lookup(group)
-        new_leaf = self._position_map.random_leaf()
+        new_leaf = self._random_leaf()
         self._position_map.assign(group, new_leaf)
         self._read_path_into_stash(old_leaf)
-        self._retarget_group(group, new_leaf)
+        self._retarget_group(group, old_leaf, new_leaf)
         self._write_back_path(old_leaf)
         self._stats.record_dummy_access()
         self._stats.sample_stash_occupancy(self._stash.occupancy)
@@ -372,10 +556,10 @@ class PathORAM:
         self._check_address(address)
         group = self._mapper.group_of(address)
         old_leaf = self._position_map.lookup(group)
-        new_leaf = self._position_map.random_leaf()
+        new_leaf = self._random_leaf()
         self._position_map.assign(group, new_leaf)
         self._read_path_into_stash(old_leaf)
-        extracted = self._collect_group(address, group)
+        extracted = self._collect_group(address, group, old_leaf)
         self._write_back_path(old_leaf)
         self._stats.record_real_access()
         self._stats.sample_stash_occupancy(self._stash.occupancy)
@@ -401,9 +585,9 @@ class PathORAM:
     # Internals
     # ------------------------------------------------------------------
     def _check_address(self, address: int) -> None:
-        if not 1 <= address <= self._config.working_set_blocks:
+        if not 1 <= address <= self._working_set:
             raise ConfigurationError(
-                f"address {address} outside [1, {self._config.working_set_blocks}]"
+                f"address {address} outside [1, {self._working_set}]"
             )
 
     def _check_stash_bound(self) -> None:
@@ -450,23 +634,32 @@ class PathORAM:
                 else:
                     block.leaf = new_leaf  # buffer blocks are unindexed
         else:
-            self._retarget_group(group, new_leaf)
+            self._retarget_group(group, current_leaf, new_leaf)
         result_data = block.data if block is not None else None
         self._write_back_path(current_leaf)
-        return AccessResult(address=address, data=result_data, found=found)
+        return AccessResult(address, result_data, found)
 
-    def _retarget_group(self, group: int, new_leaf: int) -> None:
-        """Point every stash-resident member of ``group`` at ``new_leaf``.
+    def _retarget_group(self, group: int, current_leaf: int, new_leaf: int) -> None:
+        """Point every resident member of ``group`` at ``new_leaf``.
 
-        By the super-block invariant all members share a leaf, so after the
-        path read every member still stored in the ORAM is in the stash.
+        By the super-block invariant all members share ``current_leaf``, so
+        the stash-resident part of the group moves as one leaf-bucket split
+        (:meth:`Stash.retarget_range`); members still in the pending path
+        buffer (just read, not yet written back) are caught by a single scan.
         """
+        span = self._mapper.group_span(group)
+        if span is not None:
+            lo, hi = span
+            self._stash.retarget_range(current_leaf, lo, hi, new_leaf)
+            for candidate in self._path_buffer:
+                if lo <= candidate.address < hi:
+                    candidate.leaf = new_leaf
+            return
+        # Custom (non-contiguous) mappers: member-at-a-time fallback.
         retarget = self._stash.retarget
         buffer = self._path_buffer
         for member in self._mapper.addresses_in_group(group):
             if retarget(member, new_leaf) is None:
-                # Not stash-resident: the member may sit in the path buffer
-                # (just read, not yet written back), which is not indexed.
                 for candidate in buffer:
                     if candidate.address == member:
                         candidate.leaf = new_leaf
@@ -475,17 +668,39 @@ class PathORAM:
     def _read_path_into_stash(self, leaf: int) -> None:
         """Read the path into the transient buffer (logically, the stash).
 
-        The blocks become part of the protocol's working set immediately
-        (:meth:`_find_resident` sees them), but their stash indexing is
-        deferred to the write-back, which returns most of them straight to
-        the tree.
+        The blocks become part of the protocol's working set immediately,
+        but their stash indexing is deferred to the write-back, which
+        returns most of them straight to the tree.
         """
         if self._record_path_trace:
             self._path_trace.append(leaf)
-        blocks = self._storage.read_path_blocks(leaf)
+        if self._fused:
+            pairs = self._path_pairs
+            if pairs is None:
+                bases = self._storage._bases(leaf)  # noqa: SLF001 - friend fast path
+                self._path_rbases = bases[::-1]
+            else:
+                pair = pairs.get(leaf)
+                if pair is None:
+                    bases = self._storage._bases(leaf)  # noqa: SLF001
+                    pair = pairs[leaf] = (bases, bases[::-1])
+                bases, self._path_rbases = pair
+            slots = self._slots
+            blocks: list[Block] = []
+            append = blocks.append
+            extend = blocks.extend
+            for base in bases:
+                count = slots[base]
+                if count:
+                    if count == 1:
+                        append(slots[base + 1])
+                    else:
+                        extend(slots[base + 1 : base + 1 + count])
+        else:
+            blocks = self._storage.read_path_blocks(leaf)
         self._path_buffer = blocks
         count = len(blocks)
-        transient = len(self._stash) + count
+        transient = len(self._stash_blocks) + count
         if transient > self._transient_peak:
             self._transient_peak = transient
         stats = self._stats
@@ -497,54 +712,172 @@ class PathORAM:
 
         The candidate pool is every stash block plus every block of the
         pending path buffer, bucketed by the deepest level it may occupy on
-        this path.  The two sources are kept in separate pools: when a level
-        has room, buffer blocks are placed first (the same tie-break as the
-        seed algorithm, where freshly read blocks sat at the pop end of the
-        candidate list).  A placed buffer block therefore never touches the
-        stash's indexes at all, an unplaced stash block stays where it is,
-        and only the two small remainders — placed stash blocks and
-        unplaced buffer blocks — pay an index update.
+        this path (one precomputed-table lookup per distinct stash leaf and
+        per buffer block).  The two sources are kept in separate pools: when
+        a level has room, buffer blocks are placed first (the same tie-break
+        as the seed algorithm, where freshly read blocks sat at the pop end
+        of the candidate list).  A placed buffer block therefore never
+        touches the stash's indexes at all, an unplaced stash block stays
+        where it is, and only the two small remainders — placed stash blocks
+        and unplaced buffer blocks — pay an index update.
+
+        Against the array-backed :class:`FlatTreeStorage` the placement pass
+        writes each level's blocks straight into the slot array as it decides
+        them — no per-level bucket lists and no second walk over the path.
         """
         levels = self._levels
-        z = self._z
 
         # The stash's leaf index lets grouping run per distinct leaf (one
         # XOR per leaf) instead of rescanning every block; the scratch
         # lists are reused across calls and drained level by level below.
         by_stash = self._by_deepest_stash
-        by_buffer = self._by_deepest_buffer
         buffer = self._path_buffer
-        self._path_buffer = []
+        self._path_buffer = ()
         table = self._deepest_table
+        caps = self._class_cap
+        pending = len(buffer)
+        by_leaf = self._stash_by_leaf
         if table is not None:
-            for other_leaf, group in self._stash.leaf_groups():
-                by_stash[table[other_leaf ^ leaf]].extend(group.values())
+            if by_leaf:
+                for other_leaf, group in by_leaf.items():
+                    deepest = table[other_leaf ^ leaf]
+                    ready = by_stash[deepest]
+                    if len(ready) < caps[deepest]:
+                        ready.extend(group)
+                        pending += len(group)
+            appends = self._buffer_appends
             for block in buffer:
-                by_buffer[table[block.leaf ^ leaf]].append(block)
+                appends[table[block.leaf ^ leaf]](block)
         else:
-            for other_leaf, group in self._stash.leaf_groups():
-                diff = other_leaf ^ leaf
-                by_stash[levels if not diff else levels - diff.bit_length()].extend(
-                    group.values()
-                )
+            if by_leaf:
+                for other_leaf, group in by_leaf.items():
+                    diff = other_leaf ^ leaf
+                    deepest = levels if not diff else levels - diff.bit_length()
+                    ready = by_stash[deepest]
+                    if len(ready) < caps[deepest]:
+                        ready.extend(group)
+                        pending += len(group)
+            appends = self._buffer_appends
             for block in buffer:
                 diff = block.leaf ^ leaf
-                by_buffer[levels if not diff else levels - diff.bit_length()].append(block)
+                appends[levels if not diff else levels - diff.bit_length()](block)
 
-        level_buckets: list[list[Block] | None] = [None] * (levels + 1)
-        written = 0
-        candidates = len(self._stash) + len(buffer)
+        if self._fused:
+            written, placed_stash, avail_buffer = self._place_into_slots(pending)
+        else:
+            written, placed_stash, avail_buffer = self._place_into_levels(leaf)
+
+        if placed_stash:
+            self._stash.remove_placed(placed_stash)
+        if avail_buffer:
+            # Unplaced buffer blocks now genuinely enter the stash.
+            add = self._stash.add
+            for block in avail_buffer:
+                add(block)
+        stats = self._stats
+        stats.path_writes += 1
+        stats.blocks_written += written
+
+    def _place_into_slots(self, pending: int) -> tuple[int, list[Block], list[Block]]:
+        """Fused placement: write levels directly into the flat slot array.
+
+        Walks the path deepest-first exactly once.  Blocks whose deepest
+        legal level is the current one join the available pools; each level
+        takes up to ``Z`` (buffer blocks first), and the chosen blocks are
+        sliced straight into the storage's slots.  The selection is
+        identical to :meth:`_place_into_levels` — the two differ only in
+        where the chosen blocks land — with two shortcuts: once all
+        ``pending`` candidates are placed the remaining (shallower) buckets
+        are cleared without consulting the pools, and a level whose ready
+        buffer blocks fit entirely skips the pool bookkeeping.  Returns the
+        number of blocks written, the placed stash blocks (for the index
+        batch-remove) and the leftover buffer blocks (which enter the
+        stash).
+        """
+        z = self._z
+        storage = self._storage
+        slots = self._slots
         avail_buffer: list[Block] = []
         avail_stash: list[Block] = []
         placed_stash: list[Block] = []
+        occupancy_delta = 0
+        written = 0
+        nb = ns = 0
+        # Deepest-first walk: path bucket bases (cached by the preceding
+        # read) zipped with the matching buffer/stash class lists.
+        for base, b_ready, s_ready in zip(
+            self._path_rbases, self._by_buffer_rev, self._by_stash_rev
+        ):
+            if written == pending:
+                # Every candidate is placed; shallower buckets only need
+                # their counts zeroed (slots beyond a bucket's count are
+                # never read, so stale references need no clearing).
+                old = slots[base]
+                if old:
+                    slots[base] = 0
+                    occupancy_delta -= old
+                continue
+            take = 0
+            if b_ready and not nb:
+                rb = len(b_ready)
+                if rb <= z:
+                    # Common case: this level's own buffer blocks all fit.
+                    slots[base + 1 : base + 1 + rb] = b_ready
+                    b_ready.clear()
+                    take = rb
+                else:
+                    nb = rb - z
+                    slots[base + 1 : base + 1 + z] = b_ready[nb:]
+                    del b_ready[nb:]
+                    avail_buffer.extend(b_ready)
+                    b_ready.clear()
+                    take = z
+            elif nb:
+                if b_ready:
+                    avail_buffer.extend(b_ready)
+                    b_ready.clear()
+                    nb = len(avail_buffer)
+                take = nb if nb < z else z
+                nb -= take
+                slots[base + 1 : base + 1 + take] = avail_buffer[nb:]
+                del avail_buffer[nb:]
+            if s_ready:
+                avail_stash.extend(s_ready)
+                s_ready.clear()
+                ns = len(avail_stash)
+            if ns and take < z:
+                extra = z - take if z - take < ns else ns
+                ns -= extra
+                placed = avail_stash[ns:]
+                del avail_stash[ns:]
+                slots[base + 1 + take : base + 1 + take + extra] = placed
+                placed_stash += placed
+                take += extra
+            old = slots[base]
+            if old != take:
+                slots[base] = take
+                occupancy_delta += take - old
+            written += take
+        storage._occupancy += occupancy_delta  # noqa: SLF001
+        return written, placed_stash, avail_buffer
+
+    def _place_into_levels(self, leaf: int) -> tuple[int, list[Block], list[Block]]:
+        """Generic placement: build per-level buckets and hand them to the
+        storage's batched ``write_path_levels`` (kept for wrapper back-ends
+        such as encrypted or integrity-verifying storage, which intercept
+        whole-path writes).  Chooses exactly the same blocks per level as
+        :meth:`_place_into_slots`."""
+        levels = self._levels
+        z = self._z
+        by_stash = self._by_deepest_stash
+        by_buffer = self._by_deepest_buffer
+        level_buckets: list[list[Block] | None] = [None] * (levels + 1)
+        avail_buffer: list[Block] = []
+        avail_stash: list[Block] = []
+        placed_stash: list[Block] = []
+        written = 0
         nb = ns = 0
         for level in range(levels, -1, -1):
-            if written == candidates:
-                # Every candidate is placed; the remaining (shallower)
-                # buckets are written empty via their None entries.
-                break
-            # Blocks whose deepest legal level is exactly `level` become
-            # available here and remain candidates for shallower levels.
             ready = by_buffer[level]
             if ready:
                 avail_buffer.extend(ready)
@@ -578,14 +911,5 @@ class PathORAM:
                 continue
             level_buckets[level] = bucket
             written += take
-        if placed_stash:
-            self._stash.remove_placed(placed_stash)
-        if avail_buffer:
-            # Unplaced buffer blocks now genuinely enter the stash.
-            add = self._stash.add
-            for block in avail_buffer:
-                add(block)
         self._storage.write_path_levels(leaf, level_buckets)
-        stats = self._stats
-        stats.path_writes += 1
-        stats.blocks_written += written
+        return written, placed_stash, avail_buffer

@@ -46,6 +46,16 @@ class PositionMap:
         """Number of leaves entries may map to."""
         return self._num_leaves
 
+    @property
+    def leaves(self) -> list[int]:
+        """The live entry list (index = identifier, value = leaf).
+
+        Exposed for the protocol hot path, which turns :meth:`lookup` /
+        :meth:`assign` into a plain list index.  Callers writing through
+        this list are responsible for keeping leaves in range.
+        """
+        return self._leaves
+
     def lookup(self, identifier: int) -> int:
         """Return the leaf currently assigned to ``identifier``."""
         return self._leaves[identifier]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, ItemsView
+from typing import ItemsView, Iterable, Iterator
 
 from repro.core.types import Block
 from repro.errors import StashOverflowError
@@ -19,9 +19,15 @@ class Stash:
     stash blocks by the deepest level they may legally occupy on the path
     being written, which depends only on a block's leaf; the leaf index lets
     it do that per *distinct leaf* instead of rescanning every block.  The
-    index is maintained incrementally by :meth:`add`, :meth:`pop` and
+    same index makes the super-block operations batched: all members of a
+    super block share one leaf, so an entire group can be retargeted or
+    extracted by splitting one leaf bucket (:meth:`retarget_range`,
+    :meth:`pop_range`) instead of touching the index once per member.
+
+    The index is maintained incrementally by :meth:`add`, :meth:`pop` and
     :meth:`retarget` — code outside this class must never assign
-    ``block.leaf`` directly for a block that sits in the stash.
+    ``block.leaf`` directly for a block that sits in the stash.  Within a
+    leaf bucket blocks are unordered (removal swaps with the last entry).
 
     Parameters
     ----------
@@ -32,7 +38,7 @@ class Stash:
 
     def __init__(self, capacity: int | None = None) -> None:
         self._blocks: dict[int, Block] = {}
-        self._by_leaf: dict[int, dict[int, Block]] = {}
+        self._by_leaf: dict[int, list[Block]] = {}
         self._capacity = capacity
         self._max_occupancy = 0
 
@@ -82,14 +88,14 @@ class Stash:
             raise StashOverflowError(
                 f"stash overflow: capacity {self._capacity} exceeded"
             )
-        if previous is not None and previous.leaf != block.leaf:
-            self._drop_from_leaf_index(address, previous.leaf)
+        if previous is not None:
+            self._drop_from_leaf_index(previous, previous.leaf)
         self._blocks[address] = block
-        group = self._by_leaf.get(block.leaf)
-        if group is None:
-            self._by_leaf[block.leaf] = {address: block}
+        bucket = self._by_leaf.get(block.leaf)
+        if bucket is None:
+            self._by_leaf[block.leaf] = [block]
         else:
-            group[address] = block
+            bucket.append(block)
         if len(self._blocks) > self._max_occupancy:
             self._max_occupancy = len(self._blocks)
 
@@ -100,15 +106,9 @@ class Stash:
         the protocol calls this once per path write-back.
         """
         stash = self._blocks
-        by_leaf = self._by_leaf
         for block in blocks:
-            address = block.address
-            if stash.pop(address, None) is not None:
-                group = by_leaf.get(block.leaf)
-                if group is not None:
-                    group.pop(address, None)
-                    if not group:
-                        del by_leaf[block.leaf]
+            if stash.pop(block.address, None) is not None:
+                self._drop_from_leaf_index(block, block.leaf)
 
     def get(self, address: int) -> Block | None:
         """Return the block at ``address`` (or ``None``) without removing it."""
@@ -118,7 +118,7 @@ class Stash:
         """Remove and return the block at ``address`` (or ``None``)."""
         block = self._blocks.pop(address, None)
         if block is not None:
-            self._drop_from_leaf_index(address, block.leaf)
+            self._drop_from_leaf_index(block, block.leaf)
         return block
 
     def retarget(self, address: int, new_leaf: int) -> Block | None:
@@ -128,18 +128,74 @@ class Stash:
         if block is None:
             return None
         if block.leaf != new_leaf:
-            self._drop_from_leaf_index(address, block.leaf)
+            self._drop_from_leaf_index(block, block.leaf)
             block.leaf = new_leaf
-            group = self._by_leaf.get(new_leaf)
-            if group is None:
-                self._by_leaf[new_leaf] = {address: block}
+            bucket = self._by_leaf.get(new_leaf)
+            if bucket is None:
+                self._by_leaf[new_leaf] = [block]
             else:
-                group[address] = block
+                bucket.append(block)
         return block
 
-    def leaf_groups(self) -> ItemsView[int, dict[int, Block]]:
-        """``(leaf, {address: block})`` pairs for every distinct leaf that
-        currently has stash-resident blocks.  Do not mutate the stash while
+    # ------------------------------------------------------------------
+    # Batched super-block operations
+    # ------------------------------------------------------------------
+    def retarget_range(self, leaf: int, lo: int, hi: int, new_leaf: int) -> int:
+        """Retarget every stash block with address in ``[lo, hi)`` currently
+        mapped to ``leaf`` onto ``new_leaf``, in one split of the leaf bucket.
+
+        This is the super-block remap: all stash-resident members of a group
+        share the group's leaf, so one pass over that leaf's bucket moves the
+        whole group.  Returns the number of blocks moved.
+        """
+        if leaf == new_leaf:
+            return 0
+        bucket = self._by_leaf.get(leaf)
+        if bucket is None:
+            return 0
+        staying = [block for block in bucket if not lo <= block.address < hi]
+        moved = len(bucket) - len(staying)
+        if not moved:
+            return 0
+        target = self._by_leaf.get(new_leaf)
+        if target is None:
+            target = self._by_leaf[new_leaf] = []
+        for block in bucket:
+            if lo <= block.address < hi:
+                block.leaf = new_leaf
+                target.append(block)
+        if staying:
+            self._by_leaf[leaf] = staying
+        else:
+            del self._by_leaf[leaf]
+        return moved
+
+    def pop_range(self, leaf: int, lo: int, hi: int) -> list[Block]:
+        """Remove and return every stash block with address in ``[lo, hi)``
+        currently mapped to ``leaf`` — one split of the leaf bucket instead of
+        a :meth:`pop` per super-block member."""
+        bucket = self._by_leaf.get(leaf)
+        if bucket is None:
+            return []
+        extracted = [block for block in bucket if lo <= block.address < hi]
+        if not extracted:
+            return []
+        staying = [block for block in bucket if not lo <= block.address < hi]
+        if staying:
+            self._by_leaf[leaf] = staying
+        else:
+            del self._by_leaf[leaf]
+        blocks = self._blocks
+        for block in extracted:
+            del blocks[block.address]
+        return extracted
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def leaf_groups(self) -> ItemsView[int, list[Block]]:
+        """``(leaf, [blocks])`` pairs for every distinct leaf that currently
+        has stash-resident blocks.  Do not mutate the stash while
         iterating."""
         return self._by_leaf.items()
 
@@ -156,9 +212,15 @@ class Stash:
         self._blocks.clear()
         self._by_leaf.clear()
 
-    def _drop_from_leaf_index(self, address: int, leaf: int) -> None:
-        group = self._by_leaf.get(leaf)
-        if group is not None:
-            group.pop(address, None)
-            if not group:
-                del self._by_leaf[leaf]
+    def _drop_from_leaf_index(self, block: Block, leaf: int) -> None:
+        bucket = self._by_leaf.get(leaf)
+        if bucket is None:
+            return
+        for index, candidate in enumerate(bucket):
+            if candidate is block:
+                last = bucket.pop()
+                if last is not block:
+                    bucket[index] = last
+                break
+        if not bucket:
+            del self._by_leaf[leaf]

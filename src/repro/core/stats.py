@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessStats:
     """Counters accumulated by a :class:`~repro.core.path_oram.PathORAM`.
 

@@ -40,6 +40,14 @@ class SuperBlockMapper(ABC):
             raise ConfigurationError("num_addresses must be >= 1")
         return (num_addresses + self.group_size - 1) // self.group_size
 
+    def group_span(self, group: int) -> tuple[int, int] | None:
+        """Half-open address range ``[lo, hi)`` covering ``group``, when the
+        group is a contiguous address run — the common case, which lets the
+        stash retarget or extract a whole super block as one range split.
+        Mappers with non-contiguous groups return ``None`` and the protocol
+        falls back to member-at-a-time handling."""
+        return None
+
 
 class StaticSuperBlockMapper(SuperBlockMapper):
     """The paper's static merging scheme: adjacent addresses, fixed size.
@@ -67,3 +75,7 @@ class StaticSuperBlockMapper(SuperBlockMapper):
             raise ConfigurationError(f"group must be >= 0, got {group}")
         first = group * self._size + 1
         return list(range(first, first + self._size))
+
+    def group_span(self, group: int) -> tuple[int, int] | None:
+        first = group * self._size + 1
+        return first, first + self._size

@@ -190,11 +190,14 @@ class FlatTreeStorage(TreeStorage):
     """Array-backed bucket store: the fast functional back-end.
 
     All ``num_buckets * Z`` block slots live in one preallocated flat list;
-    bucket ``i`` owns slots ``[i*Z, (i+1)*Z)`` and ``_counts[i]`` records how
-    many of them hold real blocks.  Compared to :class:`PlainTreeStorage`
-    this avoids a per-bucket list allocation on every read and write, reads
-    whole paths in a single pass, and maintains :meth:`occupancy` as an O(1)
-    counter instead of rescanning the tree.
+    bucket ``i`` owns slots ``[i*Z, (i+1)*Z)`` and its leading count slot
+    records how many of them hold real blocks.  The count is authoritative:
+    slots past it are never read, so shrinking a bucket only rewrites the
+    count (stale block references linger in the array, bounded by its size).
+    Compared to :class:`PlainTreeStorage` this avoids a per-bucket list
+    allocation on every read and write, reads whole paths in a single pass,
+    and maintains :meth:`occupancy` as an O(1) counter instead of rescanning
+    the tree.
 
     Behaviour is bit-identical to :class:`PlainTreeStorage` (the
     differential property test in ``tests/test_core_properties.py`` enforces
@@ -238,8 +241,6 @@ class FlatTreeStorage(TreeStorage):
         slots = self._slots
         old = slots[base]
         slots[base + 1 : base + 1 + count] = blocks
-        for slot in range(base + 1 + count, base + 1 + old):
-            slots[slot] = None
         slots[base] = count
         self._occupancy += count - old
 
@@ -284,9 +285,6 @@ class FlatTreeStorage(TreeStorage):
                 count = 0
             else:
                 continue
-            if old > count:
-                for slot in range(base + 1 + count, base + 1 + old):
-                    slots[slot] = None
             slots[base] = count
             occupancy += count - old
         self._occupancy = occupancy

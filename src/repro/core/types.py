@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any
 
@@ -42,7 +42,7 @@ class Block:
         return self.address == DUMMY_ADDRESS
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """What a single ORAM access returned to the caller.
 
@@ -67,4 +67,4 @@ class AccessResult:
     data: Any = None
     found: bool = True
     dummy_accesses: int = 0
-    sibling_addresses: tuple[int, ...] = field(default_factory=tuple)
+    sibling_addresses: tuple[int, ...] = ()

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.processor.trace import TraceRecord
+from repro.runner import derive_seed
 
 
 @dataclass(frozen=True)
@@ -183,3 +184,21 @@ def _poisson_like(mean: float, rng: random.Random) -> int:
     if mean <= 0:
         return 0
     return max(0, int(round(rng.expovariate(1.0 / mean))))
+
+
+def benchmark_trace(benchmark: str, num_memory_ops: int, seed: int = 0) -> list[TraceRecord]:
+    """Runner-ready trace generation for one named benchmark.
+
+    The trace RNG is derived from ``seed`` and the trace's identity through
+    the runner's :func:`~repro.runner.derive_seed` mechanism, so a
+    process-pool worker regenerates exactly the trace a serial run would —
+    and every driver replaying the same benchmark at the same base seed
+    (e.g. a DRAM baseline and its ORAM counterparts) sees the same memory
+    reference stream.
+    """
+    if benchmark not in SPEC_PROFILES:
+        raise ConfigurationError(
+            f"unknown benchmark {benchmark!r}; profiles: {sorted(SPEC_PROFILES)}"
+        )
+    rng = random.Random(derive_seed(seed, ("spec-trace", benchmark, num_memory_ops)))
+    return generate_benchmark_trace(SPEC_PROFILES[benchmark], num_memory_ops, rng)

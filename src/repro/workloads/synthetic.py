@@ -11,6 +11,7 @@ import random
 
 from repro.errors import ConfigurationError
 from repro.processor.trace import TraceRecord
+from repro.runner import derive_seed
 
 
 def _check_args(num_ops: int, working_set_bytes: int) -> None:
@@ -154,3 +155,37 @@ def hotspot_trace(
             )
         )
     return records
+
+
+#: Named generators for runner-driven trace specs.
+GENERATORS = {
+    "random": random_access_trace,
+    "sequential": sequential_scan_trace,
+    "strided": strided_trace,
+    "pointer_chase": pointer_chase_trace,
+    "hotspot": hotspot_trace,
+}
+
+
+def synthetic_trace(
+    kind: str,
+    num_ops: int,
+    working_set_bytes: int,
+    seed: int = 0,
+    **kwargs,
+) -> list[TraceRecord]:
+    """Runner-ready synthetic trace generation by generator name.
+
+    The RNG is derived from ``seed`` and the trace's identity through the
+    runner's :func:`~repro.runner.derive_seed` mechanism, so a process-pool
+    worker regenerates exactly the trace a serial run would.
+    """
+    generator = GENERATORS.get(kind)
+    if generator is None:
+        raise ConfigurationError(
+            f"unknown trace generator {kind!r}; known: {sorted(GENERATORS)}"
+        )
+    rng = random.Random(
+        derive_seed(seed, ("synthetic-trace", kind, num_ops, working_set_bytes))
+    )
+    return generator(num_ops, working_set_bytes, rng, **kwargs)

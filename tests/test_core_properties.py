@@ -5,8 +5,9 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.backends import OramSpec, build_oram
 from repro.core.background_eviction import BackgroundEviction
-from repro.core.config import ORAMConfig
+from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.path_oram import PathORAM, leaf_common_path_length
 from repro.core.super_block import StaticSuperBlockMapper
 from repro.core.tree import (
@@ -196,6 +197,66 @@ class TestORAMProperties:
         flat = orams["flat"].storage
         recount = sum(len(flat.read_bucket(i)) for i in range(flat.num_buckets))
         assert flat.occupancy() == recount
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=48),
+                st.booleans(),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=5,
+            max_size=40,
+        ),
+    )
+    @_SLOW
+    def test_hierarchical_storage_backends_are_interchangeable(self, seed, operations):
+        """Differential test on the recursive construction: the registry's
+        Plain/Flat/Encrypted storage stacks drive bit-identical hierarchical
+        behaviour — same AccessResult sequences, same dummy rounds, same
+        per-level stash occupancies and counters — for the same seeded
+        workload."""
+        data = ORAMConfig(
+            working_set_blocks=48, z=3, block_bytes=32, stash_capacity=60,
+            encryption="counter",
+        )
+        hierarchy = HierarchyConfig(
+            data_oram=data,
+            position_map_block_bytes=8,
+            position_map_z=3,
+            position_map_stash_capacity=100,
+            onchip_position_map_limit_bytes=8,
+        )
+        assert hierarchy.num_orams >= 2
+        orams = {
+            storage: build_oram(
+                OramSpec(protocol="hierarchical", storage=storage, key_seed=5),
+                hierarchy,
+                rng=random.Random(seed),
+            )
+            for storage in ("flat", "plain", "encrypted")
+        }
+        traces = {name: [] for name in orams}
+        for address, is_write, value in operations:
+            for name, oram in orams.items():
+                if is_write:
+                    result = oram.write(address, value)
+                else:
+                    result = oram.read(address)
+                traces[name].append(
+                    (result.address, result.data, result.found, result.dummy_accesses)
+                    + tuple(level.stash_occupancy for level in oram.orams)
+                )
+        assert traces["flat"] == traces["plain"] == traces["encrypted"]
+        reference = orams["plain"]
+        for name, oram in orams.items():
+            assert oram.stats == reference.stats, name
+            for level, ref_level in zip(oram.orams, reference.orams):
+                assert level.stats == ref_level.stats, name
+                assert level.max_stash_occupancy == ref_level.max_stash_occupancy, name
+                assert sorted(level.stash_addresses()) == sorted(ref_level.stash_addresses()), name
+                assert level.storage.occupancy() == ref_level.storage.occupancy(), name
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @_SLOW

@@ -2,14 +2,20 @@
 
 import pytest
 
+from repro.analysis.hierarchy import measure_dummy_factors
+from repro.analysis.spec_eval import Figure12Config, Table2Row, figure12_slowdowns
 from repro.analysis.stash_occupancy import run_stash_occupancy_sweep
 from repro.analysis.sweep import sweep_stash_size, sweep_utilization
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.presets import dz3pb32
 from repro.runner import (
     ExperimentRunner,
     ExperimentSpec,
     RunnerError,
     derive_seed,
 )
+from repro.workloads.spec_like import benchmark_trace
+from repro.workloads.synthetic import synthetic_trace
 
 
 def _point(value, seed=0, fail=False):
@@ -121,4 +127,101 @@ class TestParallelSweepDeterminism:
         kwargs = dict(z_values=[1, 2], working_set_blocks=256, num_accesses=600, seed=2)
         serial = run_stash_occupancy_sweep(executor="serial", **kwargs)
         parallel = run_stash_occupancy_sweep(executor="process", max_workers=2, **kwargs)
+        assert serial == parallel
+
+
+def _mini_hierarchy(working_set: int, name: str) -> HierarchyConfig:
+    data = ORAMConfig(
+        working_set_blocks=working_set, z=4, block_bytes=64, stash_capacity=150,
+        name=name,
+    )
+    return HierarchyConfig(
+        data_oram=data,
+        position_map_block_bytes=8,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=32,
+        name=name,
+    )
+
+
+class TestHierarchicalGridDeterminism:
+    """Registry-built hierarchical grids parallelise bit-identically."""
+
+    def test_dummy_factor_grid_parallel_equals_serial(self):
+        configs = {
+            name: _mini_hierarchy(working_set, name)
+            for name, working_set in (("h256", 256), ("h384", 384), ("h512", 512))
+        }
+        serial = measure_dummy_factors(configs, num_accesses=150, seed=4, executor="serial")
+        parallel = measure_dummy_factors(
+            configs, num_accesses=150, seed=4, executor="process", max_workers=2
+        )
+        assert serial == parallel
+        assert set(serial) == set(configs)
+
+    def test_fig12_mini_grid_parallel_equals_serial(self):
+        # A hand-sized Figure 12 cell: the latency row is fixed so the grid
+        # exercises exactly the registry-built processor/ORAM stack.
+        hierarchy = dz3pb32(scale=1 / 65536)
+        latency = Table2Row(
+            name="DZ3Pb32", num_orams=hierarchy.num_orams,
+            return_data_cycles=1000.0, finish_access_cycles=2000.0,
+            stash_kilobytes=1.0, position_map_kilobytes=1.0,
+        )
+        configuration = Figure12Config(
+            name="DZ3Pb32", hierarchy=hierarchy, super_block_size=1, latency=latency
+        )
+        kwargs = dict(
+            benchmarks=["mcf", "hmmer"],
+            num_memory_ops=300,
+            configurations=[configuration],
+            warmup_operations=100,
+            seed=6,
+        )
+        serial = figure12_slowdowns(executor="serial", **kwargs)
+        parallel = figure12_slowdowns(executor="process", max_workers=2, **kwargs)
+        assert serial == parallel
+        assert set(serial) == {"mcf", "hmmer"}
+
+
+class TestDerivedSeedTraceGeneration:
+    """Workload generators ride the runner's derived-seed mechanism."""
+
+    def test_benchmark_trace_stable_and_distinct(self):
+        assert benchmark_trace("mcf", 200, seed=3) == benchmark_trace("mcf", 200, seed=3)
+        assert benchmark_trace("mcf", 200, seed=3) != benchmark_trace("mcf", 200, seed=4)
+        assert benchmark_trace("mcf", 200, seed=3) != benchmark_trace("bzip2", 200, seed=3)
+
+    def test_synthetic_trace_stable_and_distinct(self):
+        kwargs = dict(num_ops=150, working_set_bytes=1 << 16)
+        assert synthetic_trace("random", seed=1, **kwargs) == synthetic_trace(
+            "random", seed=1, **kwargs
+        )
+        assert synthetic_trace("random", seed=1, **kwargs) != synthetic_trace(
+            "random", seed=2, **kwargs
+        )
+        assert synthetic_trace("random", seed=1, **kwargs) != synthetic_trace(
+            "hotspot", seed=1, **kwargs
+        )
+
+    def test_trace_generation_in_workers_matches_serial(self):
+        specs = [
+            ExperimentSpec(
+                key=("trace", benchmark),
+                fn=benchmark_trace,
+                kwargs={"benchmark": benchmark, "num_memory_ops": 300},
+                seed=derive_seed(9, ("trace", benchmark)),
+            )
+            for benchmark in ("mcf", "libquantum", "bzip2")
+        ] + [
+            ExperimentSpec(
+                key=("synthetic", kind),
+                fn=synthetic_trace,
+                kwargs={"kind": kind, "num_ops": 300, "working_set_bytes": 1 << 16},
+                seed=derive_seed(9, ("synthetic", kind)),
+            )
+            for kind in ("random", "pointer_chase", "hotspot")
+        ]
+        serial = ExperimentRunner(executor="serial").run_values(specs)
+        parallel = ExperimentRunner(executor="process", max_workers=2).run_values(specs)
         assert serial == parallel
