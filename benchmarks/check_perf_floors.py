@@ -1,0 +1,59 @@
+"""CI perf-floor gate: recorded speedups must not drop below the floors.
+
+Reads the sectioned ``BENCH_engine.json`` the perf benchmarks just wrote
+and compares each section's ``speedup`` against the committed floors in
+``benchmarks/perf_floors.json``.  The floors are the regression contract:
+they sit below the typical recorded ratios (so machine noise cannot break
+CI) but above the previous PR's recorded trajectory point, so a change
+that genuinely loses the trace-at-once gains fails the gate.
+
+Exit status: 0 when every recorded section clears its floor, 1 otherwise
+(also when a section with a committed floor is missing from the bench
+file).
+
+Usage::
+
+    python benchmarks/check_perf_floors.py [BENCH_FILE] [FLOORS_FILE]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+DEFAULT_BENCH = _HERE.parent / "BENCH_engine.json"
+DEFAULT_FLOORS = _HERE / "perf_floors.json"
+
+
+def check(bench_path: Path, floors_path: Path) -> int:
+    try:
+        bench = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read bench file {bench_path}: {exc}")
+        return 1
+    floors = json.loads(floors_path.read_text())
+
+    status = 0
+    for section, floor in sorted(floors.items()):
+        record = bench.get(section)
+        if not isinstance(record, dict) or "speedup" not in record:
+            print(f"FAIL: section {section!r} missing from {bench_path.name}")
+            status = 1
+            continue
+        speedup = record["speedup"]
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(f"{verdict}: {section} speedup {speedup:.2f}x (floor {floor:.2f}x)")
+        if speedup < floor:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    bench = Path(argv[0]) if len(argv) > 0 else DEFAULT_BENCH
+    floors = Path(argv[1]) if len(argv) > 1 else DEFAULT_FLOORS
+    return check(bench, floors)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

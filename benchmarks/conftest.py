@@ -43,6 +43,16 @@ def record_bench(section: str, record: dict) -> None:
     BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
 
 
+#: Committed speedup floors, shared by the perf tests' hard assertions and
+#: the CI gate (benchmarks/check_perf_floors.py) — one source of truth.
+FLOORS_FILE = Path(__file__).resolve().parent / "perf_floors.json"
+
+
+def perf_floor(section: str) -> float:
+    """The committed regression floor for one BENCH section."""
+    return float(json.loads(FLOORS_FILE.read_text())[section])
+
+
 def bench_scale() -> float:
     """Global multiplier applied to access counts / trace lengths."""
     try:
@@ -81,25 +91,83 @@ def prefill(oram, count: int):
     return oram
 
 
-def measure_window(oram, rng, measured: int, working_set: int) -> float:
-    """One throughput window: ``measured`` random accesses, accesses/sec.
+def _window_addresses(oram, rng, measured: int, working_set: int):
+    """Draw one window's workload and run the untimed warm-up stretch.
 
-    The perf benchmarks alternate engine/seed windows and compare paired
-    ratios, so both must draw their workload from this one helper.  A short
-    untimed warm-up precedes the timed stretch: alternating two engines
+    A short warm-up precedes every timed stretch: alternating two engines
     evicts each other's code and data from the CPU caches, and without the
     warm-up every window starts by paying the other engine's cache misses.
+    A ``gc.collect()`` right before the timed stretch keeps collector debt
+    from one engine's window from being billed to the other's.
     """
-    import time
+    import gc
 
     warmup = max(1, measured // 20)
     addresses = [rng.randrange(1, working_set + 1) for _ in range(warmup + measured)]
     for address in addresses[:warmup]:
         oram.access(address)
+    gc.collect()
+    return addresses[warmup:]
+
+
+def measure_window(oram, rng, measured: int, working_set: int) -> float:
+    """One throughput window of per-access ``access`` calls, accesses/sec.
+
+    The seed-reference side of every perf benchmark runs through this
+    helper (the seed had no batched entry point); the engine side runs the
+    same drawn workload through :func:`measure_window_many`.
+    """
+    import time
+
+    addresses = _window_addresses(oram, rng, measured, working_set)
     start = time.perf_counter()
-    for address in addresses[warmup:]:
+    for address in addresses:
         oram.access(address)
     return measured / (time.perf_counter() - start)
+
+
+def measure_window_many(oram, rng, measured: int, working_set: int) -> float:
+    """One throughput window driven by one fused ``access_many`` call.
+
+    Identical workload stream and warm-up to :func:`measure_window`; the
+    timed stretch consumes the whole window trace-at-once.
+    """
+    import time
+
+    addresses = _window_addresses(oram, rng, measured, working_set)
+    start = time.perf_counter()
+    oram.access_many(addresses)
+    return measured / (time.perf_counter() - start)
+
+
+def paired_throughput(
+    engine,
+    reference,
+    windows: int,
+    measured: int,
+    working_set: int,
+    trace_seed: int = 11,
+    engine_window=measure_window_many,
+    reference_window=measure_window,
+):
+    """Alternate engine/reference windows; return the median-ratio pair.
+
+    The shared paired-window harness of both perf benchmarks: each of the
+    ``windows`` rounds runs one engine window then one reference window
+    back to back over the same workload stream (two RNGs from one
+    ``trace_seed``), so a machine-load swing hits both comparably and the
+    per-pair ratio stays meaningful.  Returns the
+    ``(engine_rate, reference_rate)`` pair with the median ratio.
+    """
+    import random
+
+    engine_rng, reference_rng = random.Random(trace_seed), random.Random(trace_seed)
+    pairs = []
+    for _ in range(windows):
+        engine_rate = engine_window(engine, engine_rng, measured, working_set)
+        reference_rate = reference_window(reference, reference_rng, measured, working_set)
+        pairs.append((engine_rate, reference_rate))
+    return median_pair(pairs)
 
 
 def median_pair(pairs):
@@ -112,6 +180,19 @@ def median_pair(pairs):
     """
     ordered = sorted(pairs, key=lambda pair: pair[0] / pair[1])
     return ordered[(len(ordered) - 1) // 2]
+
+
+def record_perf(section: str, record: dict, title: str) -> None:
+    """The perf benchmarks' one writer: record a section and print it.
+
+    Merges the record into the sectioned ``BENCH_engine.json`` through
+    :func:`record_bench` and emits the human-readable block, so both perf
+    benchmarks report identically.
+    """
+    import json
+
+    record_bench(section, record)
+    emit(title, json.dumps(record, indent=2))
 
 
 def emit(title: str, text: str) -> None:

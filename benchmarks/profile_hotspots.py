@@ -1,0 +1,117 @@
+"""Profile the engine's trace-replay hot paths with cProfile.
+
+Runs one flat and one hierarchical steady-state trace replay through the
+fused ``access_many`` loops under :mod:`cProfile` and prints the top
+cumulative hotspots of each, so future perf PRs start from data instead of
+guesses.  The configurations match the perf benchmarks
+(``test_perf_engine.py`` / ``test_perf_hierarchy.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotspots.py [--accesses N]
+        [--top K] [--loop]
+
+``--loop`` profiles the per-access ``access()`` loop instead of the fused
+``access_many`` path — useful for measuring how much the trace-at-once
+layer amortises.
+"""
+
+import argparse
+import cProfile
+import io
+import pstats
+import random
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for entry in (str(_HERE.parent / "src"), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from conftest import prefill  # noqa: E402
+
+from repro.backends import OramSpec, build_oram  # noqa: E402
+from repro.core.config import HierarchyConfig, ORAMConfig  # noqa: E402
+
+FLAT_WORKING_SET = 1 << 15
+HIER_WORKING_SET = 1 << 13
+TOP_DEFAULT = 20
+
+
+def _flat_engine():
+    config = ORAMConfig(
+        working_set_blocks=FLAT_WORKING_SET, z=4, block_bytes=128, stash_capacity=200
+    )
+    return prefill(
+        build_oram(OramSpec(protocol="flat", storage="flat"), config, seed=7),
+        FLAT_WORKING_SET,
+    )
+
+
+def _hier_engine():
+    data = ORAMConfig(
+        working_set_blocks=HIER_WORKING_SET, z=4, block_bytes=128, stash_capacity=200
+    )
+    hierarchy = HierarchyConfig(
+        data_oram=data,
+        position_map_block_bytes=8,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=512,
+        name="profile-hierarchy",
+    )
+    return prefill(
+        build_oram(OramSpec(protocol="hierarchical", storage="flat"), hierarchy, seed=7),
+        HIER_WORKING_SET,
+    )
+
+
+def profile_replay(name: str, engine, working_set: int, accesses: int,
+                   top: int, loop: bool) -> str:
+    """Profile one steady-state replay; return the formatted report."""
+    rng = random.Random(11)
+    addresses = [rng.randrange(1, working_set + 1) for _ in range(accesses)]
+    profiler = cProfile.Profile()
+    if loop:
+        access = engine.access
+        profiler.enable()
+        for address in addresses:
+            access(address)
+        profiler.disable()
+    else:
+        profiler.enable()
+        engine.access_many(addresses)
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=30_000,
+                        help="trace length per replay (default 30000)")
+    parser.add_argument("--top", type=int, default=TOP_DEFAULT,
+                        help="hotspots to print per replay (default 20)")
+    parser.add_argument("--loop", action="store_true",
+                        help="profile the per-access loop instead of access_many")
+    args = parser.parse_args(argv)
+
+    mode = "access() loop" if args.loop else "access_many (trace-at-once)"
+    for name, builder, working_set in (
+        ("flat", _flat_engine, FLAT_WORKING_SET),
+        ("hierarchical", _hier_engine, HIER_WORKING_SET),
+    ):
+        print("=" * 72)
+        print(f"{name} replay — {args.accesses} accesses via {mode}")
+        print("=" * 72)
+        report = profile_replay(
+            name, builder(), working_set, args.accesses, args.top, args.loop
+        )
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

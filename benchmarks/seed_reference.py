@@ -53,6 +53,19 @@ def seed_eviction_threshold(config):
     return config.stash_capacity - config.z * (seed_levels(config) + 1)
 
 
+def seed_num_leaves(config):
+    """The seed's uncached ``ORAMConfig.num_leaves``.
+
+    The v0 configuration derived every property from scratch, so each
+    ``num_leaves`` read re-ran the tree-depth search.  The replay must pay
+    the same cost wherever v0 read the property per access (the PR-3
+    recalibration: the PR-2 replay resolved ``cfg.num_leaves`` against the
+    engine's cached config and ran ~9% faster than the real v0 commit on
+    the recursive chain).
+    """
+    return 1 << seed_levels(config)
+
+
 class SeedBackgroundEviction(EvictionPolicy):
     """The seed's eviction policy: threshold re-derived on every call."""
 
@@ -330,7 +343,7 @@ class SeedReferenceHierarchicalORAM:
 
     def _resolve_position_chain(self, address):
         chain = self._identifier_chain(address)
-        new_leaves = [self._rng.randrange(cfg.num_leaves) for cfg in self._configs]
+        new_leaves = [self._rng.randrange(seed_num_leaves(cfg)) for cfg in self._configs]
         self._pending_data_leaf = new_leaves[0]
 
         if not chain:
@@ -355,7 +368,7 @@ class SeedReferenceHierarchicalORAM:
             def mutate(labels, *,
                        _slot=slot,
                        _k=labels_per_block,
-                       _child_leaves=child_config.num_leaves,
+                       _child_leaves=seed_num_leaves(child_config),
                        _new=child_new_leaf,
                        _captured=captured):
                 if labels is None:
@@ -388,7 +401,15 @@ class SeedReferenceHierarchicalORAM:
             self._stats.record_dummy_access()
             if rounds > self._livelock_limit:
                 raise ReproError("seed reference hierarchy eviction livelock")
+        # v0 swept every stash bound unconditionally after each access.
+        self._check_stash_bounds()
         return rounds
+
+    def _check_stash_bounds(self):
+        for oram in self._orams:
+            capacity = oram.config.stash_capacity
+            if capacity is not None and oram.stash_occupancy > capacity:
+                raise StashOverflowError("seed reference hierarchy stash overflow")
 
     def _any_stash_over_threshold(self):
         for oram in self._orams:

@@ -1,30 +1,27 @@
-"""Engine throughput benchmark: fast path vs. the seed implementation.
+"""Engine throughput benchmark: trace-at-once fast path vs. the seed.
 
-Measures accesses/sec of the current engine (``FlatTreeStorage`` with the
-fused read/write-back slot fast path, path-table caching and indexed stash
-eviction) against a faithful in-process replay of the seed hot path
-(:mod:`seed_reference`) for the Z=4, 2^15-working-set-block configuration
-named in the engine refactor issue.
+Measures accesses/sec of the current engine consuming whole workload
+windows through ``PathORAM.access_many`` (the fused trace-at-once loop over
+``FlatTreeStorage``'s slot array) against a faithful in-process replay of
+the seed hot path (:mod:`seed_reference`) for the Z=4, 2^15-working-set
+configuration named in the engine refactor issues.
 
 The measured rates are recorded under the ``"flat"`` key of
 ``BENCH_engine.json`` at the repository root so future PRs have a perf
 trajectory to beat.  Compare trajectory points on the absolute
 ``engine_accesses_per_sec`` as well as the ratio: the PR-2 baseline was
-re-calibrated against the actual seed commit (the PR-1 replay inherited
-engine-side position-map and eviction-threshold caching the seed never
-had; the recalibrated replay was measured to match the real ``v0`` code's
-throughput within a few percent), so ratios before and after PR 2 are not
-directly comparable.  Engine and seed windows alternate and the speedup is
-the *median* paired (adjacent-in-time) window ratio, so machine-load drift
-between phases cannot skew the comparison and lucky windows cannot inflate
-it; the hard assertion still sits well below the recorded ratio so
-residual noise cannot break CI.
+re-calibrated against the actual seed commit, and PR 3 re-verified the
+flat replay against the real ``v0`` code (interleaved runs agreed within
+noise).  Engine and seed windows alternate over the same workload stream
+and the speedup is the *median* paired (adjacent-in-time) window ratio, so
+machine-load drift between phases cannot skew the comparison and lucky
+windows cannot inflate it; the hard assertion sits well below the recorded
+ratio so residual noise cannot break CI.
 """
 
-import json
 import random
 
-from conftest import emit, measure_window, median_pair, prefill, record_bench, scaled
+from conftest import paired_throughput, perf_floor, prefill, record_perf, scaled
 from seed_reference import SeedBackgroundEviction, SeedReferenceORAM
 
 from repro.backends import OramSpec, build_oram
@@ -37,6 +34,13 @@ Z = 4
 #: Interleaved measurement windows per engine; the speedup is the median
 #: engine/seed ratio among time-adjacent window pairs.
 WINDOWS = 5
+
+#: Hard CI floor for the recorded speedup, read from the committed
+#: benchmarks/perf_floors.json (the same floor the CI gate enforces).  The
+#: PR-3 trace-at-once loop records ~4.5-5x on a quiet machine; the floor
+#: leaves room for machine noise while still catching real regressions
+#: (PR-2 recorded 3.1x).
+SPEEDUP_FLOOR = perf_floor("flat")
 
 
 def test_engine_throughput_vs_seed_reference(benchmark):
@@ -63,38 +67,36 @@ def test_engine_throughput_vs_seed_reference(benchmark):
             ),
             WORKING_SET_BLOCKS,
         )
-        # Same workload stream for both; each window pair runs engine then
-        # seed back to back, so a machine-load swing hits both comparably
-        # and the per-pair ratio stays meaningful.
-        engine_rng, seed_rng = random.Random(11), random.Random(11)
-        pairs = []
-        for _ in range(WINDOWS):
-            engine_window = measure_window(engine, engine_rng, measured, WORKING_SET_BLOCKS)
-            seed_window = measure_window(seed, seed_rng, measured, WORKING_SET_BLOCKS)
-            pairs.append((engine_window, seed_window))
+        pair = paired_throughput(
+            engine, seed, WINDOWS, measured, WORKING_SET_BLOCKS, trace_seed=11
+        )
         # Both engines must agree on the functional outcome of the run.
         assert engine.total_blocks_stored() == seed.total_blocks_stored()
-        return median_pair(pairs)
+        return pair
 
     engine_rate, seed_rate = benchmark.pedantic(_run, rounds=1, iterations=1)
     speedup = engine_rate / seed_rate
 
     record = {
         "config": f"Z={Z}, working_set={WORKING_SET_BLOCKS} blocks, 50% utilization",
-        "baseline": "seed_reference replay recalibrated against the v0 seed commit in PR 2",
+        "baseline": (
+            "seed_reference replay calibrated against the v0 seed commit "
+            "(PR 2, re-verified in PR 3)"
+        ),
+        "engine_path": "access_many (fused trace-at-once loop)",
         "accesses_per_window": measured,
         "window_pairs": WINDOWS,
         "engine_accesses_per_sec": round(engine_rate, 1),
         "seed_reference_accesses_per_sec": round(seed_rate, 1),
         "speedup": round(speedup, 2),
     }
-    record_bench("flat", record)
-    emit(
-        "Engine throughput — fast path vs. seed reference "
+    record_perf(
+        "flat",
+        record,
+        "Engine throughput — access_many trace loop vs. seed reference "
         f"(Z={Z}, 2^15-block working set)",
-        json.dumps(record, indent=2),
     )
 
-    # The refactor targets 3x; the hard floor is set with margin so machine
-    # noise cannot break CI while still catching real regressions.
-    assert speedup >= 2.2, f"engine only {speedup:.2f}x over seed reference"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"engine only {speedup:.2f}x over seed reference"
+    )

@@ -1,24 +1,24 @@
-"""Hierarchy throughput benchmark: recursive fast path vs. the seed chain.
+"""Hierarchy throughput benchmark: recursive trace loop vs. the seed chain.
 
-Measures accesses/sec of the hierarchical engine — the memoised chain walk,
-single-draw leaf buffer and closure-free ``access_position_block`` over the
-fused flat-storage Path ORAMs — against a faithful replay of the
-pre-refactor hierarchical hot path (:mod:`seed_reference`): the generic
+Measures accesses/sec of the hierarchical engine consuming whole workload
+windows through ``HierarchicalPathORAM.access_many`` — the fused chain loop
+over the fully-inlined classified path ops — against a faithful replay of
+the pre-refactor hierarchical hot path (:mod:`seed_reference`): the generic
 ``access_path`` with a freshly allocated ``mutate`` closure per level,
-``randrange`` draws, and seed-style Path ORAMs underneath.
+uncached tree-depth recomputation at every ``num_leaves`` read (the PR-3
+recalibration), and seed-style Path ORAMs underneath.
 
 The configuration is a 3-level recursive hierarchy (data ORAM plus two
 position-map ORAMs), the construction the paper's headline figures run on.
-Rates land in the ``"hierarchical"`` section of ``BENCH_engine.json``; the
-windows interleave engine and seed and the recorded speedup is the median
-paired-window ratio, so machine-load drift cannot skew the ratio and lucky
-windows cannot inflate it.
+Rates land in the ``"hierarchical"`` section of ``BENCH_engine.json``
+through the shared paired-window harness in :mod:`conftest`: windows
+interleave engine and seed over the same workload stream and the recorded
+speedup is the median paired-window ratio.
 """
 
-import json
 import random
 
-from conftest import emit, measure_window, median_pair, prefill, record_bench, scaled
+from conftest import paired_throughput, perf_floor, prefill, record_perf, scaled
 from seed_reference import SeedReferenceHierarchicalORAM
 
 from repro.backends import OramSpec, build_oram
@@ -28,7 +28,14 @@ WORKING_SET_BLOCKS = 1 << 13
 
 #: Interleaved measurement windows per engine; the speedup is the median
 #: engine/seed ratio among time-adjacent window pairs.
-WINDOWS = 3
+WINDOWS = 5
+
+#: Hard CI floor for the recorded speedup, read from the committed
+#: benchmarks/perf_floors.json (the same floor the CI gate enforces).  The
+#: PR-3 fused chain loop records ~4.5x on a quiet machine; the floor
+#: leaves room for machine noise while still catching real regressions
+#: (PR-2 recorded 3.1x).
+SPEEDUP_FLOOR = perf_floor("hierarchical")
 
 
 def _hierarchy() -> HierarchyConfig:
@@ -58,18 +65,15 @@ def test_hierarchy_throughput_vs_seed_reference(benchmark):
             SeedReferenceHierarchicalORAM(hierarchy, rng=random.Random(7)),
             WORKING_SET_BLOCKS,
         )
-        engine_rng, seed_rng = random.Random(11), random.Random(11)
-        pairs = []
-        for _ in range(WINDOWS):
-            engine_window = measure_window(engine, engine_rng, measured, WORKING_SET_BLOCKS)
-            seed_window = measure_window(seed, seed_rng, measured, WORKING_SET_BLOCKS)
-            pairs.append((engine_window, seed_window))
+        pair = paired_throughput(
+            engine, seed, WINDOWS, measured, WORKING_SET_BLOCKS, trace_seed=11
+        )
         # Both constructions must agree on the functional outcome.
         engine_stored = sum(
             oram.stash_occupancy + oram.storage.occupancy() for oram in engine.orams
         )
         assert engine_stored == seed.total_blocks_stored()
-        return median_pair(pairs)
+        return pair
 
     engine_rate, seed_rate = benchmark.pedantic(_run, rounds=1, iterations=1)
     speedup = engine_rate / seed_rate
@@ -79,19 +83,24 @@ def test_hierarchy_throughput_vs_seed_reference(benchmark):
             f"3-level recursive hierarchy, data working_set={WORKING_SET_BLOCKS} "
             "blocks, Z=4/128B data, Z=3/8B position maps"
         ),
+        "baseline": (
+            "seed chain replay recalibrated against the v0 seed commit in PR 3 "
+            "(uncached num_leaves reads, per-access stash-bound sweep)"
+        ),
+        "engine_path": "access_many (fused chain loop)",
         "accesses_per_window": measured,
         "window_pairs": WINDOWS,
         "engine_accesses_per_sec": round(engine_rate, 1),
         "seed_reference_accesses_per_sec": round(seed_rate, 1),
         "speedup": round(speedup, 2),
     }
-    record_bench("hierarchical", record)
-    emit(
-        "Hierarchy throughput — recursive fast path vs. seed chain replay "
+    record_perf(
+        "hierarchical",
+        record,
+        "Hierarchy throughput — access_many chain loop vs. seed chain replay "
         "(3-level config)",
-        json.dumps(record, indent=2),
     )
 
-    # The issue targets 2x on the recursive path; the hard floor leaves
-    # margin for machine noise while catching real regressions.
-    assert speedup >= 1.5, f"hierarchy only {speedup:.2f}x over seed reference"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"hierarchy only {speedup:.2f}x over seed reference"
+    )

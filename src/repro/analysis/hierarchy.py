@@ -19,7 +19,7 @@ from repro.core.overhead import (
     hierarchy_theoretical_access_overhead,
 )
 from repro.core.presets import base_oram, make_hierarchy
-from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback, derive_seed
 
 #: The scenario measured dummy factors run on: the recursive construction
 #: over the fast functional storage.
@@ -70,12 +70,17 @@ def analytic_breakdown(name: str, hierarchy: HierarchyConfig,
 
 def measure_dummy_factor(hierarchy: HierarchyConfig, num_accesses: int, seed: int = 0,
                          spec: OramSpec = HIERARCHY_SPEC) -> float:
-    """Measure ``(RA + DA) / RA`` for a hierarchy with random accesses."""
-    rng = random.Random(seed)
-    oram = build_oram(spec, hierarchy, rng=rng)
+    """Measure ``(RA + DA) / RA`` for a hierarchy with random accesses.
+
+    The trace comes from a derived workload RNG and replays through the
+    hierarchy's fused :meth:`~repro.core.hierarchical.HierarchicalPathORAM.access_many`
+    chain loop.
+    """
+    oram = build_oram(spec, hierarchy, rng=random.Random(seed))
     working_set = hierarchy.data_oram.working_set_blocks
-    for _ in range(num_accesses):
-        oram.access(rng.randrange(1, working_set + 1))
+    trace_rng = random.Random(derive_seed(seed, ("fig10-trace", hierarchy.name or "")))
+    randrange = trace_rng.randrange
+    oram.access_many([randrange(1, working_set + 1) for _ in range(num_accesses)])
     stats = oram.stats
     if stats.real_accesses == 0:
         return 1.0

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.backends import OramSpec, build_memory_backend
+from repro.backends import OramSpec, build_memory_backend, build_oram
 from repro.core.config import HierarchyConfig
 from repro.core.overhead import onchip_storage
 from repro.core.presets import base_oram, dz3pb32, dz4pb32
@@ -27,7 +27,14 @@ from repro.dram.oram_dram import ORAMDRAMSimulator, subtree_placement_factory
 from repro.processor.config import ProcessorConfig, table1_processor
 from repro.processor.memory import DRAMBackend
 from repro.processor.simulator import ProcessorSimulator, SimulationResult
-from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback, derive_seed
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ProgressCallback,
+    WindowPlan,
+    derive_seed,
+    run_windows,
+)
 from repro.workloads.spec_like import benchmark_trace
 
 #: The scenario Figure 12's functional ORAMs run on: the recursive
@@ -178,6 +185,101 @@ def run_oram_configuration(benchmark: str, configuration: Figure12Config,
         seed=derive_seed(seed, ("fig12-oram", benchmark, configuration.name)),
     )
     return ProcessorSimulator(config, backend).run(trace, warmup_operations=warmup)
+
+
+@dataclass(frozen=True)
+class TraceReplayResult:
+    """ORAM-level replay of one benchmark trace (no cache model)."""
+
+    benchmark: str
+    configuration: str
+    accesses: int
+    found: int
+    dummy_rounds: int
+
+    @property
+    def dummy_factor(self) -> float:
+        """``(RA + DA) / RA`` of the replay."""
+        if not self.accesses:
+            return 1.0
+        return (self.accesses + self.dummy_rounds) / self.accesses
+
+
+def run_oram_trace_replay(benchmark: str, configuration: Figure12Config,
+                          num_memory_ops: int, seed: int = 0,
+                          line_bytes: int = 128,
+                          oram_spec: OramSpec = FIGURE12_SPEC) -> TraceReplayResult:
+    """Replay one benchmark's memory-op stream straight at the ORAM level.
+
+    Every memory operation of the SPEC-like trace becomes one hierarchical
+    ORAM access (the cache hierarchy is bypassed — this isolates the
+    ORAM-side behaviour of the workload's address stream), consumed in one
+    fused :meth:`~repro.core.hierarchical.HierarchicalPathORAM.access_many`
+    call.  Line addresses fold into the data ORAM's block space exactly as
+    the processor model's ORAM backend folds them.
+    """
+    trace = benchmark_trace(benchmark, num_memory_ops, seed=seed)
+    hierarchy = configuration.hierarchy
+    oram = build_oram(
+        oram_spec,
+        hierarchy,
+        seed=derive_seed(seed, ("spec-replay", benchmark, configuration.name)),
+    )
+    working_set = hierarchy.data_oram.working_set_blocks
+    addresses = [
+        (record.address // line_bytes) % working_set + 1 for record in trace
+    ]
+    result = oram.access_many(addresses)
+    return TraceReplayResult(
+        benchmark=benchmark,
+        configuration=configuration.name,
+        accesses=result.accesses,
+        found=result.found,
+        dummy_rounds=oram.stats.dummy_accesses,
+    )
+
+
+def run_oram_trace_replay_sharded(benchmark: str, configuration: Figure12Config,
+                                  num_memory_ops: int, windows: int = 4,
+                                  seed: int = 0, line_bytes: int = 128,
+                                  oram_spec: OramSpec = FIGURE12_SPEC,
+                                  executor: str = "serial",
+                                  max_workers: int | None = None,
+                                  progress: ProgressCallback | None = None
+                                  ) -> TraceReplayResult:
+    """One long ORAM-level trace replay sharded into runner windows.
+
+    Splits the replay into independently seeded windows executed through
+    the experiment runner (bit-identical between ``executor="serial"`` and
+    ``"process"``) and merges the counters.
+    """
+    plan = WindowPlan.split(
+        key=("spec-replay-shard", benchmark, configuration.name),
+        base_seed=seed,
+        total_accesses=num_memory_ops,
+        windows=windows,
+    )
+    results = run_windows(
+        run_oram_trace_replay,
+        plan,
+        kwargs={
+            "benchmark": benchmark,
+            "configuration": configuration,
+            "line_bytes": line_bytes,
+            "oram_spec": oram_spec,
+        },
+        accesses_kwarg="num_memory_ops",
+        executor=executor,
+        max_workers=max_workers,
+        progress=progress,
+    )
+    return TraceReplayResult(
+        benchmark=benchmark,
+        configuration=configuration.name,
+        accesses=sum(result.accesses for result in results),
+        found=sum(result.found for result in results),
+        dummy_rounds=sum(result.dummy_rounds for result in results),
+    )
 
 
 def figure12_slowdowns(benchmarks: list[str], num_memory_ops: int = 20_000,

@@ -15,7 +15,14 @@ from dataclasses import dataclass
 
 from repro.backends import OramSpec, build_oram
 from repro.core.config import ORAMConfig
-from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ProgressCallback,
+    WindowPlan,
+    derive_seed,
+    run_windows,
+)
 
 #: The scenario of the Figure 3 study: a single fast-path ORAM, unbounded
 #: stash, no background eviction.
@@ -57,7 +64,6 @@ def run_stash_occupancy_experiment(
     ``num_accesses`` defaults to ``10 * N`` (the paper's setting) where N is
     the working-set size in blocks.
     """
-    rng = random.Random(seed)
     config = ORAMConfig(
         working_set_blocks=working_set_blocks,
         utilization=utilization,
@@ -66,11 +72,16 @@ def run_stash_occupancy_experiment(
         stash_capacity=None,
         name=f"fig3-z{z}",
     )
-    oram = build_oram(OCCUPANCY_SPEC, config, rng=rng)
+    oram = build_oram(OCCUPANCY_SPEC, config, rng=random.Random(seed))
     oram.stats.record_occupancy = True
     total = num_accesses if num_accesses is not None else 10 * working_set_blocks
-    for _ in range(total):
-        oram.access(rng.randrange(1, working_set_blocks + 1))
+    # The workload stream is its own derived RNG so the whole trace can be
+    # pregenerated and consumed by one fused access_many call.
+    trace_rng = random.Random(derive_seed(seed, ("fig3-trace", z)))
+    randrange = trace_rng.randrange
+    oram.access_many(
+        [randrange(1, working_set_blocks + 1) for _ in range(total)]
+    )
     return StashOccupancyResult(z=z, samples=list(oram.stats.stash_occupancy_samples))
 
 
@@ -108,3 +119,48 @@ def run_stash_occupancy_sweep(
     )
     results = runner.run_values(specs)
     return {z: result for z, result in zip(z_values, results)}
+
+
+def run_stash_occupancy_sharded(
+    z: int,
+    working_set_blocks: int,
+    num_accesses: int | None = None,
+    windows: int = 4,
+    utilization: float = 0.5,
+    seed: int = 0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> StashOccupancyResult:
+    """One huge Figure 3 experiment for a single Z, sharded into windows.
+
+    The paper's ``10 N`` accesses for one Z are one long simulation; this
+    splits them into ``windows`` independent simulations (each with its own
+    derived seed) executed through the runner, and pools the occupancy
+    samples.  The tail probabilities are estimated from the pooled samples;
+    with ``executor="process"`` the result is bit-identical to the serial
+    run of the same window plan.
+    """
+    total = num_accesses if num_accesses is not None else 10 * working_set_blocks
+    plan = WindowPlan.split(
+        key=("fig3-shard", z, working_set_blocks),
+        base_seed=seed,
+        total_accesses=total,
+        windows=windows,
+    )
+    results = run_windows(
+        run_stash_occupancy_experiment,
+        plan,
+        kwargs={
+            "z": z,
+            "working_set_blocks": working_set_blocks,
+            "utilization": utilization,
+        },
+        executor=executor,
+        max_workers=max_workers,
+        progress=progress,
+    )
+    samples: list[int] = []
+    for result in results:
+        samples.extend(result.samples)
+    return StashOccupancyResult(z=z, samples=samples)

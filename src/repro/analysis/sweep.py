@@ -24,7 +24,14 @@ from repro.core.config import ORAMConfig
 from repro.core.overhead import measured_access_overhead, theoretical_access_overhead
 from repro.core.stats import AccessStats
 from repro.errors import ReproError
-from repro.runner import ExperimentRunner, ExperimentSpec, ProgressCallback
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ProgressCallback,
+    WindowPlan,
+    derive_seed,
+    run_windows,
+)
 
 #: The scenario the design-space sweeps run on: a single fast-path ORAM with
 #: background eviction (a generous livelock cap so aborts fire first).
@@ -35,6 +42,13 @@ SWEEP_SPEC = OramSpec(
 #: Accesses to complete before the abort threshold is consulted, so a noisy
 #: start-up phase cannot abort a configuration that would settle down.
 ABORT_GRACE_ACCESSES = 100
+
+#: Accesses per fused :meth:`~repro.core.path_oram.PathORAM.access_many`
+#: chunk between abort-threshold checks.  The dummy/real ratio of a
+#: configuration headed for an abort only grows, so checking at chunk
+#: granularity reaches the same abort verdict while the trace replay runs
+#: at trace-at-once speed.
+ABORT_CHECK_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,83 @@ def _dummy_abort_reason(
     return None
 
 
+def measure_dummy_ratio_window(
+    config: ORAMConfig,
+    num_accesses: int,
+    seed: int = 0,
+    abort_dummy_factor: float = 30.0,
+    prefill: bool = True,
+    spec: OramSpec = SWEEP_SPEC,
+) -> tuple[AccessStats, str | None]:
+    """One self-contained warmup+measure window of the dummy-ratio study.
+
+    Builds a fresh ORAM from ``spec``, optionally prefills the working set
+    (the warmup), replays ``num_accesses`` random accesses through the
+    fused :meth:`~repro.core.path_oram.PathORAM.access_many` loop with
+    abort checks at chunk granularity, and returns the raw measurement
+    counters plus the abort reason (``None`` when the window completed).
+    Both :func:`measure_dummy_ratio` (one window) and
+    :func:`measure_dummy_ratio_sharded` (many windows, merged) are built
+    on this.
+    """
+    oram = build_oram(spec, config, rng=random.Random(seed))
+    # The workload stream is its own derived RNG: the trace can then be
+    # pregenerated and replayed through the fused access_many loop without
+    # perturbing the ORAM's leaf-draw stream.
+    trace_rng = random.Random(derive_seed(seed, ("sweep-trace", config.name or "")))
+    working_set = config.working_set_blocks
+    abort_reason: str | None = None
+    access_many = oram.access_many
+    try:
+        if prefill:
+            done = 0
+            while done < working_set and abort_reason is None:
+                chunk_end = min(done + ABORT_CHECK_CHUNK, working_set)
+                access_many(range(done + 1, chunk_end + 1))
+                done = chunk_end
+                abort_reason = _dummy_abort_reason(
+                    oram.stats, done, abort_dummy_factor, "prefill"
+                )
+            oram.stats.reset()
+        if abort_reason is None:
+            randrange = trace_rng.randrange
+            done = 0
+            while done < num_accesses and abort_reason is None:
+                chunk = min(ABORT_CHECK_CHUNK, num_accesses - done)
+                access_many([randrange(1, working_set + 1) for _ in range(chunk)])
+                done += chunk
+                abort_reason = _dummy_abort_reason(
+                    oram.stats, done, abort_dummy_factor, "measurement"
+                )
+    except ReproError as exc:
+        abort_reason = f"eviction livelock: {exc}"
+
+    return oram.stats, abort_reason
+
+
+def _sweep_point(
+    config: ORAMConfig, stats: AccessStats, abort_reason: str | None
+) -> SweepPoint:
+    """Fold measurement counters into the sweep's result record."""
+    aborted = abort_reason is not None
+    dummy_ratio = stats.dummy_ratio if not aborted else math.inf
+    overhead = (
+        measured_access_overhead(config, stats) if not aborted else math.inf
+    )
+    return SweepPoint(
+        z=config.z,
+        utilization=config.utilization,
+        working_set_blocks=config.working_set_blocks,
+        stash_capacity=config.stash_capacity or 0,
+        levels=config.levels,
+        dummy_ratio=dummy_ratio,
+        access_overhead=overhead,
+        theoretical_overhead=theoretical_access_overhead(config),
+        aborted=aborted,
+        abort_reason=abort_reason,
+    )
+
+
 def measure_dummy_ratio(
     config: ORAMConfig,
     num_accesses: int,
@@ -95,51 +186,68 @@ def measure_dummy_ratio(
     and ``abort_reason`` says why) once the dummy-access count exceeds
     ``abort_dummy_factor`` times the real accesses issued so far.  The
     backend stack comes from the registry ``spec`` (storage variants sweep
-    identically thanks to the differential backend guarantees).
+    identically thanks to the differential backend guarantees), and the
+    trace replays through the fused ``access_many`` loop.
     """
-    rng = random.Random(seed)
-    oram = build_oram(spec, config, rng=rng)
-    working_set = config.working_set_blocks
-    abort_reason: str | None = None
-    try:
-        if prefill:
-            for address in range(1, working_set + 1):
-                oram.access(address)
-                abort_reason = _dummy_abort_reason(
-                    oram.stats, address, abort_dummy_factor, "prefill"
-                )
-                if abort_reason is not None:
-                    break
-            oram.stats.reset()
-        if abort_reason is None:
-            for index in range(num_accesses):
-                oram.access(rng.randrange(1, working_set + 1))
-                abort_reason = _dummy_abort_reason(
-                    oram.stats, index, abort_dummy_factor, "measurement"
-                )
-                if abort_reason is not None:
-                    break
-    except ReproError as exc:
-        abort_reason = f"eviction livelock: {exc}"
+    stats, abort_reason = measure_dummy_ratio_window(
+        config,
+        num_accesses,
+        seed=seed,
+        abort_dummy_factor=abort_dummy_factor,
+        prefill=prefill,
+        spec=spec,
+    )
+    return _sweep_point(config, stats, abort_reason)
 
-    aborted = abort_reason is not None
-    stats = oram.stats
-    dummy_ratio = stats.dummy_ratio if not aborted else math.inf
-    overhead = (
-        measured_access_overhead(config, stats) if not aborted else math.inf
+
+def measure_dummy_ratio_sharded(
+    config: ORAMConfig,
+    num_accesses: int,
+    windows: int = 4,
+    seed: int = 0,
+    abort_dummy_factor: float = 30.0,
+    prefill: bool = True,
+    spec: OramSpec = SWEEP_SPEC,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> SweepPoint:
+    """One huge dummy-ratio experiment sharded into parallel windows.
+
+    ``num_accesses`` is split into ``windows`` independently warmed-up
+    measure windows (:class:`~repro.runner.WindowPlan`), each seeded by
+    window index through the runner's ``derive_seed``; with
+    ``executor="process"`` the windows execute across pool workers and the
+    merged result is bit-identical to running the same plan serially.  The
+    point's ratios come from the summed per-window counters (batch means);
+    a window that aborts marks the merged point aborted.
+    """
+    plan = WindowPlan.split(
+        key=("sweep-shard", config.name or "", config.z, config.stash_capacity),
+        base_seed=seed,
+        total_accesses=num_accesses,
+        windows=windows,
     )
-    return SweepPoint(
-        z=config.z,
-        utilization=config.utilization,
-        working_set_blocks=config.working_set_blocks,
-        stash_capacity=config.stash_capacity or 0,
-        levels=config.levels,
-        dummy_ratio=dummy_ratio,
-        access_overhead=overhead,
-        theoretical_overhead=theoretical_access_overhead(config),
-        aborted=aborted,
-        abort_reason=abort_reason,
+    results = run_windows(
+        measure_dummy_ratio_window,
+        plan,
+        kwargs={
+            "config": config,
+            "abort_dummy_factor": abort_dummy_factor,
+            "prefill": prefill,
+            "spec": spec,
+        },
+        executor=executor,
+        max_workers=max_workers,
+        progress=progress,
     )
+    merged = AccessStats()
+    abort_reason: str | None = None
+    for stats, reason in results:
+        merged.merge(stats)
+        if abort_reason is None and reason is not None:
+            abort_reason = reason
+    return _sweep_point(config, merged, abort_reason)
 
 
 def run_sweep(

@@ -159,6 +159,20 @@ def _plain_storage(spec: OramSpec) -> StorageFactory:
     return PlainTreeStorage
 
 
+# NumPy is optional: when it is absent the ``numpy-flat`` stack is simply
+# not registered (specs naming it fail with the usual unknown-storage
+# error) and the pure-Python flat stack remains the default fast backend.
+try:
+    from repro.core.numpy_tree import NumpyFlatTreeStorage
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    NumpyFlatTreeStorage = None  # type: ignore[assignment, misc]
+else:
+
+    @register_storage("numpy-flat")
+    def _numpy_flat_storage(spec: OramSpec) -> StorageFactory:
+        return NumpyFlatTreeStorage
+
+
 def _cipher_for(config: ORAMConfig, key: ProcessorKey):
     if config.encryption == "strawman":
         return StrawmanBucketCipher(key)

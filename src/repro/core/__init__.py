@@ -36,7 +36,7 @@ from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats
 from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
-from repro.core.types import DUMMY_ADDRESS, Block, Operation
+from repro.core.types import DUMMY_ADDRESS, Block, Operation, TraceResult
 
 __all__ = [
     "ORAMConfig",
@@ -53,6 +53,7 @@ __all__ = [
     "AccessStats",
     "Block",
     "Operation",
+    "TraceResult",
     "DUMMY_ADDRESS",
     "EvictionPolicy",
     "NoEviction",

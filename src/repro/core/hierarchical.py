@@ -32,8 +32,8 @@ from repro.core.path_oram import PathORAM
 from repro.core.position_map import PositionMap
 from repro.core.stats import AccessStats
 from repro.core.tree import TreeStorage
-from repro.core.types import AccessResult, Operation
-from repro.errors import ReproError, StashOverflowError
+from repro.core.types import AccessResult, Operation, TraceResult
+from repro.errors import ConfigurationError, ReproError, StashOverflowError
 
 StorageFactory = Callable[[ORAMConfig], TreeStorage]
 
@@ -172,6 +172,160 @@ class HierarchicalPathORAM:
 
     def write(self, address: int, data: Any) -> AccessResult:
         return self.access(address, Operation.WRITE, data)
+
+    def access_many(
+        self,
+        addresses: Any,
+        op: Operation = Operation.READ,
+        data: Any = None,
+    ) -> TraceResult:
+        """Consume a whole trace of addresses in one fused chain loop.
+
+        Bit-for-bit identical to ``for a in addresses: self.access(a, op,
+        data)``: the position-map chain walk is inlined with every lookup
+        hoisted out of the loop, the data-ORAM step takes the single-member
+        :meth:`~repro.core.path_oram.PathORAM.access_fixed_leaf` fast path
+        when it can (the generic ``access_path`` otherwise, e.g. with super
+        blocks), and the per-access over-threshold check reads the stash
+        sizes directly — the dummy-round machinery is only entered when a
+        stash is actually over its threshold.
+        """
+        orams = self._orams
+        data_oram = orams[0]
+        outer_index = len(self._configs) - 1
+        leaf_bits = self._leaf_bits
+        new_leaves = self._new_leaves
+        getrandbits = self._getrandbits
+        cache = self._chain_cache
+        chain_for = self._chain_for
+        onchip = self._onchip_leaves
+        group_of = self._data_group_of
+        labels_per_block = self._labels_per_block
+        child_num_leaves = self._child_num_leaves
+        # When every ORAM takes the classified fast path (and the data ORAM
+        # uses single-member groups), each level is one direct call into the
+        # fully-inlined fused path op with deferred per-ORAM stat counters;
+        # otherwise each level goes through its public method.
+        all_fused = data_oram._single_member_groups and all(  # noqa: SLF001
+            oram._classified_fast for oram in orams  # noqa: SLF001
+        )
+        if all_fused:
+            fused_ops = [oram._fused_single_access for oram in orams]  # noqa: SLF001
+            pm_lists = [oram._pm_leaves for oram in orams]  # noqa: SLF001
+            oram_stats = [oram._stats for oram in orams]  # noqa: SLF001
+            occ_samplers = [
+                (stat.stash_occupancy_samples.append, oram._stash_blocks)  # noqa: SLF001
+                if stat.record_occupancy
+                else None
+                for oram, stat in zip(orams, oram_stats)
+            ]
+            real_counts = [0] * len(orams)
+            d_working_set = data_oram._working_set  # noqa: SLF001
+            d_create = data_oram._create_on_miss  # noqa: SLF001
+            is_write = op is Operation.WRITE
+        else:
+            pm_access = [oram.access_position_block for oram in orams]
+            data_access = (
+                data_oram.access_fixed_leaf
+                if data_oram._single_member_groups  # noqa: SLF001
+                else data_oram.access_path
+            )
+        # (threshold, stash dict) pairs: the per-access check is a len()
+        # per thresholded ORAM, with no property or method hops.
+        thresholded = tuple(
+            (threshold, oram._stash_blocks)  # noqa: SLF001
+            for oram, threshold in self._thresholded_orams
+        )
+        run_eviction = self._run_background_eviction
+        stats = self._stats
+        real = found_count = rounds_total = 0
+        try:
+            for address in addresses:
+                group = group_of(address)
+                for index, bits in enumerate(leaf_bits):
+                    new_leaves[index] = getrandbits(bits) if bits else 0
+                if cache is None:
+                    chain = chain_for(group)
+                else:
+                    chain = cache.get(group)
+                    if chain is None:
+                        chain = cache[group] = chain_for(group)
+                if not chain:
+                    # Single-ORAM hierarchy: on-chip map holds data leaves.
+                    current_leaf = onchip[group]
+                    onchip[group] = new_leaves[0]
+                elif all_fused:
+                    outer_group = chain[-1][0] - 1
+                    current_leaf = onchip[outer_group]
+                    onchip[outer_group] = new_leaves[outer_index]
+                    for oram_index in range(outer_index, 0, -1):
+                        child_index = oram_index - 1
+                        block_address, slot = chain[child_index]
+                        pm_lists[oram_index][block_address - 1] = new_leaves[oram_index]
+                        current_leaf = fused_ops[oram_index](
+                            block_address,
+                            current_leaf,
+                            new_leaves[oram_index],
+                            True,
+                            None,
+                            False,
+                            slot,
+                            new_leaves[child_index],
+                            labels_per_block[child_index],
+                            child_num_leaves[child_index],
+                        )
+                        real_counts[oram_index] += 1
+                        sampler = occ_samplers[oram_index]
+                        if sampler is not None:
+                            sampler[0](len(sampler[1]))
+                else:
+                    outer_group = chain[-1][0] - 1
+                    current_leaf = onchip[outer_group]
+                    onchip[outer_group] = new_leaves[outer_index]
+                    for oram_index in range(outer_index, 0, -1):
+                        child_index = oram_index - 1
+                        block_address, slot = chain[child_index]
+                        current_leaf = pm_access[oram_index](
+                            block_address,
+                            current_leaf,
+                            new_leaves[oram_index],
+                            slot,
+                            new_leaves[child_index],
+                            labels_per_block[child_index],
+                            child_num_leaves[child_index],
+                        )
+                if all_fused:
+                    # Inlined data-ORAM step (access_fixed_leaf minus the
+                    # wrapper: same validation, deferred stat counters).
+                    if not 1 <= address <= d_working_set:
+                        raise ConfigurationError(
+                            f"address {address} outside [1, {d_working_set}]"
+                        )
+                    pm_lists[0][address - 1] = new_leaves[0]
+                    _, found = fused_ops[0](
+                        address, current_leaf, new_leaves[0],
+                        is_write, data, d_create, None, 0, 0, 0,
+                    )
+                    if found:
+                        found_count += 1
+                    real_counts[0] += 1
+                    sampler = occ_samplers[0]
+                    if sampler is not None:
+                        sampler[0](len(sampler[1]))
+                else:
+                    result = data_access(address, current_leaf, new_leaves[0], op, data)
+                    found_count += result.found
+                real += 1
+                for threshold, stash_blocks in thresholded:
+                    if len(stash_blocks) > threshold:
+                        rounds_total += run_eviction()
+                        break
+        finally:
+            stats.real_accesses += real
+            if all_fused:
+                for oram_stat, count in zip(oram_stats, real_counts):
+                    oram_stat.real_accesses += count
+        return TraceResult(accesses=real, found=found_count, dummy_accesses=rounds_total)
 
     def extract(self, address: int) -> dict[int, Any]:
         """Exclusive-ORAM fetch: remove the block's super-block group from

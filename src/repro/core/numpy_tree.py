@@ -1,0 +1,188 @@
+"""NumPy slot-array tree storage (the ``numpy-flat`` stack).
+
+:class:`NumpyFlatTreeStorage` keeps the ORAM tree as *columns* instead of a
+list of Python objects: per-bucket occupancy counts plus per-slot address
+and leaf labels live in preallocated int64 ndarrays, and only the opaque
+payloads stay in a Python list.  Whole-path reads gather the path's slot
+rows with one precomputed fancy-index per leaf, and the flattened
+write-back scatters counts and slot columns back with slice assignments —
+the ndarray version of :class:`~repro.core.tree.FlatTreeStorage`'s batched
+path operations.
+
+The protocol still works on :class:`~repro.core.types.Block` objects (the
+stash retargets them in place between read and write-back), so path reads
+materialise Block shells from the columns and path writes decompose them
+again.  That round-trip keeps the stack bit-identical to the list-backed
+flat storage — the differential property tests enforce it — while the
+tree's bulk state is numeric and compact: a 4 GB-class tree's metadata fits
+in three ndarrays instead of millions of Python objects, which is what the
+design-space sweeps at the paper's full scale need.
+
+This module must only be imported when NumPy is available;
+:mod:`repro.backends` guards the import and simply does not register the
+``numpy-flat`` stack otherwise, so the pure-Python suite keeps passing
+without NumPy installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ORAMConfig
+from repro.core.tree import TreeStorage
+from repro.core.types import Block
+from repro.errors import ConfigurationError
+
+#: Column value marking an empty slot (addresses are >= 1, dummies are 0).
+_EMPTY = -1
+
+
+class NumpyFlatTreeStorage(TreeStorage):
+    """Column-oriented bucket store backed by NumPy slot arrays.
+
+    Layout: bucket ``i`` owns slot rows ``[i*Z, (i+1)*Z)`` of the
+    ``address`` and ``leaf`` columns; ``counts[i]`` is authoritative for
+    how many leading rows hold real blocks (rows past the count are stale
+    and never read, exactly like the flat storage's count slots).
+    """
+
+    def __init__(self, config: ORAMConfig) -> None:
+        super().__init__(config)
+        self._z = config.z
+        num_buckets = config.num_buckets
+        self._counts = np.zeros(num_buckets, dtype=np.int64)
+        self._addresses = np.full(num_buckets * config.z, _EMPTY, dtype=np.int64)
+        self._leaves = np.full(num_buckets * config.z, _EMPTY, dtype=np.int64)
+        # Payloads are arbitrary Python objects (None, bytes, label lists);
+        # they ride in a plain list column aligned with the slot rows.
+        self._data: list[object] = [None] * (num_buckets * config.z)
+        self._occupancy = 0
+        # Per-leaf cache of the path's bucket indices as an ndarray plus the
+        # flat slot-row base offsets (bucket * Z), for gather/scatter.
+        self._path_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Bucket interface
+    # ------------------------------------------------------------------
+    def read_bucket(self, bucket_index: int) -> list[Block]:
+        count = int(self._counts[bucket_index])
+        if not count:
+            return []
+        row = bucket_index * self._z
+        addresses = self._addresses
+        leaves = self._leaves
+        data = self._data
+        return [
+            Block(
+                address=int(addresses[slot]),
+                leaf=int(leaves[slot]),
+                data=data[slot],
+            )
+            for slot in range(row, row + count)
+        ]
+
+    def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
+        count = len(blocks)
+        if count > self._z:
+            raise ConfigurationError(
+                f"bucket {bucket_index} overfilled: {count} > Z={self._z}"
+            )
+        row = bucket_index * self._z
+        addresses = self._addresses
+        leaves = self._leaves
+        data = self._data
+        for offset, block in enumerate(blocks):
+            slot = row + offset
+            addresses[slot] = block.address
+            leaves[slot] = block.leaf
+            data[slot] = block.data
+        old = int(self._counts[bucket_index])
+        self._counts[bucket_index] = count
+        self._occupancy += count - old
+
+    # ------------------------------------------------------------------
+    # Batched path operations: gathers and scatters over the columns
+    # ------------------------------------------------------------------
+    def _rows(self, leaf: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._path_rows.get(leaf)
+        if cached is None:
+            buckets = np.asarray(self.path(leaf), dtype=np.int64)
+            cached = self._path_rows[leaf] = (buckets, buckets * self._z)
+        return cached
+
+    def read_path_blocks(self, leaf: int) -> list[Block]:
+        """Materialise every real block on the path from the columns.
+
+        One gather of the path's count column decides which slot rows are
+        live; the address/leaf columns for those rows are pulled in two
+        fancy-indexed reads instead of a Python loop per bucket.
+        """
+        buckets, bases = self._rows(leaf)
+        counts = self._counts[buckets]
+        total = int(counts.sum())
+        if not total:
+            return []
+        # Slot rows of the occupied prefix of every path bucket.
+        rows = np.concatenate(
+            [
+                np.arange(base, base + count)
+                for base, count in zip(bases.tolist(), counts.tolist())
+                if count
+            ]
+        )
+        addresses = self._addresses[rows].tolist()
+        leaves = self._leaves[rows].tolist()
+        data = self._data
+        return [
+            Block(address=address, leaf=block_leaf, data=data[row])
+            for address, block_leaf, row in zip(addresses, leaves, rows.tolist())
+        ]
+
+    def read_path(self, leaf: int) -> list[Block]:
+        return self.read_path_blocks(leaf)
+
+    def write_path_levels(self, leaf: int, level_buckets) -> None:
+        """Scatter a whole path back into the columns, level-aligned."""
+        z = self._z
+        for blocks in level_buckets:
+            if blocks and len(blocks) > z:
+                raise ConfigurationError(f"bucket overfilled: {len(blocks)} > Z={z}")
+        buckets, bases = self._rows(leaf)
+        counts = self._counts
+        addresses = self._addresses
+        leaves = self._leaves
+        data = self._data
+        occupancy = self._occupancy
+        for bucket_index, base, blocks in zip(
+            buckets.tolist(), bases.tolist(), level_buckets
+        ):
+            old = int(counts[bucket_index])
+            if blocks:
+                count = len(blocks)
+                addresses[base : base + count] = [block.address for block in blocks]
+                leaves[base : base + count] = [block.leaf for block in blocks]
+                data[base : base + count] = [block.data for block in blocks]
+            elif old:
+                count = 0
+            else:
+                continue
+            counts[bucket_index] = count
+            occupancy += count - old
+        self._occupancy = occupancy
+
+    def write_path(self, leaf: int, assignments) -> None:
+        path = self.path(leaf)
+        self.write_path_levels(
+            leaf, [assignments.get(bucket_index) for bucket_index in path]
+        )
+
+    def occupancy(self) -> int:
+        """Real blocks stored in the tree — an O(1) maintained counter."""
+        return self._occupancy
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+    def column_nbytes(self) -> int:
+        """Bytes held by the numeric columns (excludes the payload list)."""
+        return self._counts.nbytes + self._addresses.nbytes + self._leaves.nbytes

@@ -32,8 +32,14 @@ from repro.core.stash import Stash
 from repro.core.stats import AccessStats
 from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
 from repro.core.tree import FlatTreeStorage, TreeStorage
-from repro.core.types import AccessResult, Block, Operation
+from repro.core.types import AccessResult, Block, Operation, TraceResult
 from repro.errors import ConfigurationError, StashOverflowError
+
+#: Upper bound on the per-ORAM :class:`Block` free-list.  Recycled blocks
+#: only accumulate through the exclusive-ORAM extract path, so the pool
+#: stays tiny in practice; the cap bounds memory if a workload extracts
+#: far more blocks than it ever re-creates.
+_BLOCK_POOL_LIMIT = 4096
 
 
 def leaf_common_path_length(leaf_a: int, leaf_b: int, levels: int) -> int:
@@ -112,17 +118,16 @@ class PathORAM:
         # moderate trees; huge ones re-reverse the bases tuple per read
         # instead of holding one extra tuple per distinct leaf.
         self._slots = self._storage._slots if self._fused else None  # noqa: SLF001
-        self._path_pairs: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] | None = (
-            {} if config.num_leaves <= 1 << 16 else None
+        # Lazily filled, leaf-indexed: a list beats a dict on the hot path
+        # (one bounds-checked index instead of a hash probe).
+        self._path_pairs: list[tuple[tuple[int, ...], tuple[int, ...]] | None] | None = (
+            [None] * config.num_leaves if config.num_leaves <= 1 << 16 else None
         )
         # Scratch lists reused by every write-back: candidate blocks from
         # the stash and from the pending path buffer, bucketed by the
         # deepest level they may occupy on the path being written.
         self._by_deepest_stash: list[list[Block]] = [[] for _ in range(self._levels + 1)]
         self._by_deepest_buffer: list[list[Block]] = [[] for _ in range(self._levels + 1)]
-        # Pre-bound append methods, one per class list: bucketing a buffer
-        # block is then a single call with no attribute hop.
-        self._buffer_appends = [ready.append for ready in self._by_deepest_buffer]
         # The same class lists in deepest-first order, so the placement walk
         # can zip over (path bucket, buffer class, stash class) triples
         # without indexing three lists per level.
@@ -144,6 +149,12 @@ class PathORAM:
             ]
         else:
             self._deepest_table = None
+        # The classified fast path (single-pass read + classification, see
+        # _read_path_classified) needs the exact flat storage and the
+        # moderate-tree lookup tables.  The two cutoffs coincide: levels
+        # <= 16 implies both the deepest-level table and the path-pair
+        # cache exist.
+        self._classified_fast = self._fused and self._deepest_table is not None
         # Blocks read from the current path live here between the path read
         # and the path write-back.  Most of them go straight back into the
         # tree, so keeping them out of the stash's indexes until the
@@ -187,6 +198,10 @@ class PathORAM:
         else:
             self._eviction = BackgroundEviction()
         self._stats = AccessStats()
+        # Free-list of recycled Block shells: miss-creation in the fused
+        # trace loop and the recursive position-map fast path draws from it
+        # instead of allocating; the exclusive-ORAM extract path feeds it.
+        self._block_pool: list[Block] = []
         self._create_on_miss = create_on_miss
         self._record_path_trace = record_path_trace
         self._path_trace: list[int] = []
@@ -293,16 +308,54 @@ class PathORAM:
         bits = self._draw_bits
         new_leaf = self._getrandbits(bits) if bits else self._random_leaf()
         leaves[group] = new_leaf
-        # Inlined _access_path for the dominant single-member case; the
-        # grouped (super-block) case routes through the shared helper.
-        if self._single_member_groups:
+        # Inlined _access_path for the dominant single-member case (the
+        # classified single-pass variant when the flat fast path applies);
+        # the grouped (super-block) case routes through the shared helper.
+        if not self._single_member_groups:
+            result = self._access_path(address, group, old_leaf, new_leaf, op, data)
+        elif self._classified_fast:
+            block = self._stash_blocks.get(address)
+            in_stash = block is not None
+            rbases, pending, target = self._read_path_classified(
+                old_leaf, None if in_stash else address
+            )
+            if block is None:
+                block = target
+            found = block is not None
+            if block is None:
+                if op is Operation.WRITE or self._create_on_miss:
+                    block = Block(address=address, leaf=new_leaf, data=None)
+                    self._stash.add(block)
+                    in_stash = True
+            if block is not None:
+                if op is Operation.WRITE:
+                    block.data = data
+                if in_stash:
+                    self._stash.retarget(address, new_leaf)
+                else:
+                    # Freshly read, unindexed: classify under its new leaf
+                    # (last in its class pool, the shared tie-break order).
+                    block.leaf = new_leaf
+                    self._by_deepest_buffer[self._deepest_table[new_leaf ^ old_leaf]].append(block)
+                result_data = block.data
+            else:
+                result_data = None
+            self._write_back_classified(old_leaf, rbases, pending)
+            result = AccessResult(address, result_data, found)
+        else:
             self._read_path_into_stash(old_leaf)
             block = self._stash_blocks.get(address)
             in_stash = block is not None
             if block is None:
-                for candidate in self._path_buffer:
+                buffer = self._path_buffer
+                for position, candidate in enumerate(buffer):
                     if candidate.address == address:
+                        # Move the accessed block to the end of the buffer
+                        # so the write-back classifies it last in its class
+                        # pool — the classified fast path's tie-break.
                         block = candidate
+                        del buffer[position]
+                        buffer.append(candidate)
                         break
             found = block is not None
             if block is None:
@@ -322,8 +375,6 @@ class PathORAM:
                 result_data = None
             self._write_back_path(old_leaf)
             result = AccessResult(address, result_data, found)
-        else:
-            result = self._access_path(address, group, old_leaf, new_leaf, op, data)
         stats = self._stats
         stats.real_accesses += 1
         if stats.record_occupancy:
@@ -344,6 +395,361 @@ class PathORAM:
     def write(self, address: int, data: Any) -> AccessResult:
         """Convenience wrapper for a write access."""
         return self.access(address, Operation.WRITE, data)
+
+    def access_many(
+        self,
+        addresses: Any,
+        op: Operation = Operation.READ,
+        data: Any = None,
+    ) -> TraceResult:
+        """Consume a whole trace of addresses in one fused loop.
+
+        Bit-for-bit identical to ``for a in addresses: self.access(a, op,
+        data)`` — same RNG stream, same stash/tree/position-map state, same
+        statistics — but with every per-access cost amortised over the
+        trace: attribute and method lookups are hoisted once, the path read,
+        block lookup, stash retarget and flattened write-back are inlined
+        into a single loop body, miss-created blocks come from a pooled
+        free-list, and the inlined stat counters are flushed to
+        :attr:`stats` once at the end (eviction-issued dummy accesses keep
+        updating the live counters, so interleaving is preserved).
+
+        The fused body requires the array-backed flat storage, single-member
+        super blocks and the moderate-tree lookup tables; any other
+        configuration transparently falls back to a plain ``access`` loop
+        with identical semantics.
+
+        One deliberate divergence: the fused loop validates the whole trace
+        up front, so an out-of-range address raises *before* any access
+        runs, where the equivalent loop would fail mid-trace.  For valid
+        traces (the contract the differential tests pin) behaviour is
+        exactly identical.
+        """
+        table = self._deepest_table
+        pairs = self._path_pairs
+        if (
+            not self._fused
+            or not self._single_member_groups
+            or table is None
+            or pairs is None
+            or not self._draw_bits
+        ):
+            return self._access_many_slow(addresses, op, data)
+
+        # -- hoisted hot-path state (one lookup each for the whole trace) --
+        working_set = self._working_set
+        leaves = self._pm_leaves
+        bits = self._draw_bits
+        getrandbits = self._getrandbits
+        slots = self._slots
+        storage_bases = self._storage._bases  # noqa: SLF001 - friend fast path
+        stash = self._stash
+        stash_blocks = self._stash_blocks
+        by_leaf = self._stash_by_leaf
+        by_stash = self._by_deepest_stash
+        by_buffer = self._by_deepest_buffer
+        by_buffer_rev = self._by_buffer_rev
+        by_stash_rev = self._by_stash_rev
+        caps = self._class_cap
+        z = self._z
+        pool = self._block_pool
+        create = self._create_on_miss
+        is_write = op is Operation.WRITE
+        gate = self._eviction_gate
+        after_access = self._eviction.after_access
+        no_eviction = type(self._eviction) is NoEviction
+        bounded = self._config.stash_capacity is not None
+        check_bound = self._check_stash_bound
+        stats = self._stats
+        record_occupancy = stats.record_occupancy
+        samples_append = stats.stash_occupancy_samples.append
+        trace_append = self._path_trace.append if self._record_path_trace else None
+
+        # The whole trace is validated up front (two C-speed passes) so the
+        # per-access bounds check drops out of the fused loop; a trace with
+        # an out-of-range address therefore fails before any access runs,
+        # where the equivalent access loop would fail at that element.
+        if type(addresses) is not list:
+            addresses = list(addresses)
+        if addresses and (min(addresses) < 1 or max(addresses) > working_set):
+            bad = next(a for a in addresses if not 1 <= a <= working_set)
+            raise ConfigurationError(f"address {bad} outside [1, {working_set}]")
+
+        # -- inlined stat counters, flushed once in the finally block --
+        real = found_count = dummy_total = 0
+        path_reads = blocks_read = path_writes = blocks_written = 0
+        occupancy_total = 0
+        transient_peak = self._transient_peak
+        max_occ = stash._max_occupancy  # noqa: SLF001
+
+        # Reused placement scratch for the buffer-only walk (the cold
+        # with-stash path gets fresh lists from _place_into_slots).
+        avail_buffer: list[Block] = []
+        try:
+            for address in addresses:
+                index = address - 1
+                leaf = leaves[index]
+                new_leaf = getrandbits(bits)
+                leaves[index] = new_leaf
+
+                # ---- single-pass path read + classification ----
+                # KEEP IN SYNC with _read_path_classified and the copy in
+                # _fused_single_access: protocol fixes must land in all
+                # three (the copies exist to avoid per-path-op call and
+                # attribute-hoisting overhead on this hottest loop).
+                block = stash_blocks.get(address)
+                in_stash = block is not None
+                if trace_append is not None:
+                    trace_append(leaf)
+                pair = pairs[leaf]
+                if pair is None:
+                    bases = storage_bases(leaf)
+                    pair = pairs[leaf] = (bases, bases[::-1])
+                bases, rbases = pair
+                pending = 0
+                target = None
+                if in_stash:
+                    for base in bases:
+                        count = slots[base]
+                        if count:
+                            pending += count
+                            if count == 1:
+                                blk = slots[base + 1]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 2:
+                                blk = slots[base + 1]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            else:
+                                for blk in slots[base + 1 : base + 1 + count]:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                else:
+                    for base in bases:
+                        count = slots[base]
+                        if count:
+                            pending += count
+                            if count == 1:
+                                blk = slots[base + 1]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 2:
+                                blk = slots[base + 1]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            else:
+                                for blk in slots[base + 1 : base + 1 + count]:
+                                    if blk.address == address:
+                                        target = blk
+                                    else:
+                                        by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                path_reads += 1
+                blocks_read += pending
+                transient = len(stash_blocks) + pending
+                if transient > transient_peak:
+                    transient_peak = transient
+
+                # ---- locate (or create) the block, retarget to new_leaf ----
+                if in_stash:
+                    found_count += 1
+                    if is_write:
+                        block.data = data
+                    old_block_leaf = block.leaf
+                    if old_block_leaf != new_leaf:
+                        bucket = by_leaf.get(old_block_leaf)
+                        if bucket is not None:
+                            for position, candidate in enumerate(bucket):
+                                if candidate is block:
+                                    last = bucket.pop()
+                                    if last is not block:
+                                        bucket[position] = last
+                                    break
+                            if not bucket:
+                                del by_leaf[old_block_leaf]
+                        block.leaf = new_leaf
+                        bucket = by_leaf.get(new_leaf)
+                        if bucket is None:
+                            by_leaf[new_leaf] = [block]
+                        else:
+                            bucket.append(block)
+                elif target is not None:
+                    block = target
+                    found_count += 1
+                    if is_write:
+                        block.data = data
+                    # Retargeted, then classified last in its class pool
+                    # (the shared tie-break order).
+                    block.leaf = new_leaf
+                    by_buffer[table[new_leaf ^ leaf]].append(block)
+                elif is_write or create:
+                    if pool:
+                        block = pool.pop()
+                        block.address = address
+                        block.leaf = new_leaf
+                        block.data = data if is_write else None
+                    else:
+                        block = Block(
+                            address=address,
+                            leaf=new_leaf,
+                            data=data if is_write else None,
+                        )
+                    stash_blocks[address] = block
+                    bucket = by_leaf.get(new_leaf)
+                    if bucket is None:
+                        by_leaf[new_leaf] = [block]
+                    else:
+                        bucket.append(block)
+                    occupancy = len(stash_blocks)
+                    if occupancy > max_occ:
+                        max_occ = occupancy
+
+                # ---- flattened write-back: bucket stash candidates ----
+                has_stash = False
+                if by_leaf:
+                    base_pending = pending
+                    for other_leaf, group in by_leaf.items():
+                        deepest = table[other_leaf ^ leaf]
+                        ready = by_stash[deepest]
+                        if len(ready) < caps[deepest]:
+                            ready.extend(group)
+                            pending += len(group)
+                    has_stash = pending != base_pending
+
+                if has_stash:
+                    # Cold path: stash candidates compete for slots too.
+                    self._path_rbases = rbases
+                    written, placed_stash, spilled = self._place_into_slots(pending)
+                    if placed_stash:
+                        for placed_block in placed_stash:
+                            if stash_blocks.pop(placed_block.address, None) is not None:
+                                block_leaf = placed_block.leaf
+                                bucket = by_leaf.get(block_leaf)
+                                if bucket is not None:
+                                    for position, candidate in enumerate(bucket):
+                                        if candidate is placed_block:
+                                            last = bucket.pop()
+                                            if last is not placed_block:
+                                                bucket[position] = last
+                                            break
+                                    if not bucket:
+                                        del by_leaf[block_leaf]
+                else:
+                    # ---- fused buffer-only placement (dominant case) ----
+                    # KEEP IN SYNC with _place_buffer_only and the copy in
+                    # _fused_single_access.
+                    occupancy_delta = 0
+                    written = 0
+                    nb = 0
+                    placement = zip(rbases, by_buffer_rev)
+                    for base, b_ready in placement:
+                        old = slots[base]
+                        if b_ready and not nb:
+                            rb = len(b_ready)
+                            if rb <= z:
+                                slots[base + 1 : base + 1 + rb] = b_ready
+                                b_ready.clear()
+                                take = rb
+                            else:
+                                nb = rb - z
+                                slots[base + 1 : base + 1 + z] = b_ready[nb:]
+                                del b_ready[nb:]
+                                avail_buffer.extend(b_ready)
+                                b_ready.clear()
+                                take = z
+                        elif nb:
+                            if b_ready:
+                                avail_buffer.extend(b_ready)
+                                b_ready.clear()
+                                nb = len(avail_buffer)
+                            take = nb if nb < z else z
+                            nb -= take
+                            slots[base + 1 : base + 1 + take] = avail_buffer[nb:]
+                            del avail_buffer[nb:]
+                        else:
+                            if old:
+                                slots[base] = 0
+                                occupancy_delta -= old
+                            continue
+                        if old != take:
+                            slots[base] = take
+                            occupancy_delta += take - old
+                        written += take
+                        if written == pending:
+                            # Everything is placed: the remaining (shallower) buckets
+                            # only need their counts zeroed.
+                            for base, b_ready in placement:
+                                old = slots[base]
+                                if old:
+                                    slots[base] = 0
+                                    occupancy_delta -= old
+                            break
+                    occupancy_total += occupancy_delta
+                    spilled = avail_buffer
+                path_writes += 1
+                blocks_written += written
+
+                # ---- leftover buffer blocks genuinely enter the stash ----
+                if spilled:
+                    for kept_block in spilled:
+                        stash_blocks[kept_block.address] = kept_block
+                        bucket = by_leaf.get(kept_block.leaf)
+                        if bucket is None:
+                            by_leaf[kept_block.leaf] = [kept_block]
+                        else:
+                            bucket.append(kept_block)
+                    if spilled is avail_buffer:
+                        avail_buffer.clear()
+                    occupancy = len(stash_blocks)
+                    if occupancy > max_occ:
+                        max_occ = occupancy
+
+                # ---- bookkeeping + background eviction ----
+                real += 1
+                if record_occupancy:
+                    samples_append(len(stash_blocks))
+                if gate is not None and len(stash_blocks) <= gate:
+                    continue
+                if no_eviction:
+                    if bounded:
+                        check_bound()
+                    continue
+                dummy_total += after_access(self)
+                check_bound()
+        finally:
+            if transient_peak > self._transient_peak:
+                self._transient_peak = transient_peak
+            if max_occ > stash._max_occupancy:  # noqa: SLF001
+                stash._max_occupancy = max_occ  # noqa: SLF001
+            self._storage._occupancy += occupancy_total  # noqa: SLF001
+            stats.real_accesses += real
+            stats.path_reads += path_reads
+            stats.blocks_read += blocks_read
+            stats.path_writes += path_writes
+            stats.blocks_written += blocks_written
+        return TraceResult(accesses=real, found=found_count, dummy_accesses=dummy_total)
+
+    def _access_many_slow(
+        self, addresses: Any, op: Operation, data: Any
+    ) -> TraceResult:
+        """Per-access fallback for configurations the fused loop cannot take
+        (wrapper storages, super blocks, huge trees, single-leaf ORAMs)."""
+        access = self.access
+        real = found_count = dummy_total = 0
+        for address in addresses:
+            result = access(address, op, data)
+            real += 1
+            found_count += result.found
+            dummy_total += result.dummy_accesses
+        return TraceResult(accesses=real, found=found_count, dummy_accesses=dummy_total)
 
     def access_path(
         self,
@@ -399,36 +805,88 @@ class PathORAM:
                 f"address {address} outside [1, {self._working_set}]"
             )
         self._pm_leaves[address - 1] = new_leaf
-        self._read_path_into_stash(current_leaf)
         stash = self._stash
-        block = stash.get(address)
-        in_stash = block is not None
-        if block is None:
-            for candidate in self._path_buffer:
-                if candidate.address == address:
-                    block = candidate
-                    break
-        if block is None:
-            block = Block(address=address, leaf=new_leaf, data=None)
-            stash.add(block)
-            in_stash = True
-        labels = block.data
-        if labels is None:
-            randrange = self._rng.randrange
-            labels = [randrange(child_num_leaves) for _ in range(labels_per_block)]
-            block.data = labels
-        child_current_leaf = labels[slot]
-        labels[slot] = child_new_leaf
-        if in_stash:
-            stash.retarget(address, new_leaf)
+        if self._classified_fast:
+            child_current_leaf = self._fused_single_access(
+                address, current_leaf, new_leaf, True, None, False,
+                slot, child_new_leaf, labels_per_block, child_num_leaves,
+            )
         else:
-            block.leaf = new_leaf  # buffer blocks are unindexed
-        self._write_back_path(current_leaf)
+            self._read_path_into_stash(current_leaf)
+            block = stash.get(address)
+            in_stash = block is not None
+            if block is None:
+                buffer = self._path_buffer
+                for position, candidate in enumerate(buffer):
+                    if candidate.address == address:
+                        # Classified-path tie-break: accessed block last.
+                        block = candidate
+                        del buffer[position]
+                        buffer.append(candidate)
+                        break
+            if block is None:
+                pool = self._block_pool
+                if pool:
+                    block = pool.pop()
+                    block.address = address
+                    block.leaf = new_leaf
+                    block.data = None
+                else:
+                    block = Block(address=address, leaf=new_leaf, data=None)
+                stash.add(block)
+                in_stash = True
+            labels = block.data
+            if labels is None:
+                randrange = self._rng.randrange
+                labels = [randrange(child_num_leaves) for _ in range(labels_per_block)]
+                block.data = labels
+            child_current_leaf = labels[slot]
+            labels[slot] = child_new_leaf
+            if in_stash:
+                stash.retarget(address, new_leaf)
+            else:
+                block.leaf = new_leaf  # buffer blocks are unindexed
+            self._write_back_path(current_leaf)
         stats = self._stats
         stats.real_accesses += 1
         if stats.record_occupancy:
             stats.stash_occupancy_samples.append(len(self._stash_blocks))
         return child_current_leaf
+
+    def access_fixed_leaf(
+        self,
+        address: int,
+        current_leaf: int,
+        new_leaf: int,
+        op: Operation = Operation.READ,
+        data: Any = None,
+    ) -> AccessResult:
+        """Single-member ``access_path`` fast path.
+
+        Bit-identical to :meth:`access_path` when this ORAM uses
+        single-member super-block groups (which the caller must guarantee):
+        the generic group machinery, the ``mutate`` hook and the per-call
+        method hops are skipped.  Used by the hierarchical construction's
+        fused trace loop for the data-ORAM step.  Falls back to
+        :meth:`access_path` when the classified fast path does not apply.
+        """
+        if not self._classified_fast:
+            return self.access_path(address, current_leaf, new_leaf, op, data)
+        if not 1 <= address <= self._working_set:
+            raise ConfigurationError(
+                f"address {address} outside [1, {self._working_set}]"
+            )
+        self._pm_leaves[address - 1] = new_leaf
+        result_data, found = self._fused_single_access(
+            address, current_leaf, new_leaf,
+            op is Operation.WRITE, data, self._create_on_miss,
+            None, 0, 0, 0,
+        )
+        stats = self._stats
+        stats.real_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
+        return AccessResult(address, result_data, found)
 
     def extract_path(self, address: int, current_leaf: int, new_leaf: int) -> dict[int, Any]:
         """Exclusive-ORAM extraction with externally supplied leaves.
@@ -468,12 +926,14 @@ class PathORAM:
         found: dict[int, Any] = {}
         for block in self._stash.pop_range(current_leaf, lo, hi):
             found[block.address] = block.data
+            self._recycle_block(block)
         buffer = self._path_buffer
         kept: list[Block] = []
         keep = kept.append
         for candidate in buffer:
             if lo <= candidate.address < hi:
                 found[candidate.address] = candidate.data
+                self._recycle_block(candidate)
             else:
                 keep(candidate)
         if len(kept) != len(buffer):
@@ -505,11 +965,26 @@ class PathORAM:
                         break
             if block is not None:
                 extracted[member] = block.data
+                self._recycle_block(block)
             elif self._create_on_miss:
                 extracted[member] = None
         if address not in extracted and self._create_on_miss:
             extracted[address] = None
         return extracted
+
+    def _recycle_block(self, block: Block) -> None:
+        """Return an extracted block's shell to the free-list.
+
+        Only blocks that just left the ORAM (popped from the stash or the
+        pending path buffer) may be recycled: nothing readable references
+        them any more (stale slot-array entries beyond a bucket's count are
+        never read), so the shell can be re-initialised by the next
+        miss-creation without allocating.
+        """
+        pool = self._block_pool
+        if len(pool) < _BLOCK_POOL_LIMIT:
+            block.data = None
+            pool.append(block)
 
     def dummy_access(self) -> None:
         """A background-eviction dummy access (Section 3.1.1).
@@ -519,8 +994,12 @@ class PathORAM:
         """
         bits = self._draw_bits
         leaf = self._getrandbits(bits) if bits else self._random_leaf()
-        self._read_path_into_stash(leaf)
-        self._write_back_path(leaf)
+        if self._classified_fast:
+            rbases, pending, _ = self._read_path_classified(leaf, None)
+            self._write_back_classified(leaf, rbases, pending)
+        else:
+            self._read_path_into_stash(leaf)
+            self._write_back_path(leaf)
         stats = self._stats
         stats.dummy_accesses += 1
         if stats.record_occupancy:
@@ -612,9 +1091,14 @@ class PathORAM:
         block = self._stash.get(address)
         in_stash = block is not None
         if block is None:
-            for candidate in self._path_buffer:
+            buffer = self._path_buffer
+            for position, candidate in enumerate(buffer):
                 if candidate.address == address:
+                    # Accessed block classifies last in its class pool: the
+                    # same tie-break as the classified single-pass read.
                     block = candidate
+                    del buffer[position]
+                    buffer.append(candidate)
                     break
         found = block is not None
         if block is None:
@@ -680,7 +1164,7 @@ class PathORAM:
                 bases = self._storage._bases(leaf)  # noqa: SLF001 - friend fast path
                 self._path_rbases = bases[::-1]
             else:
-                pair = pairs.get(leaf)
+                pair = pairs[leaf]
                 if pair is None:
                     bases = self._storage._bases(leaf)  # noqa: SLF001
                     pair = pairs[leaf] = (bases, bases[::-1])
@@ -706,6 +1190,399 @@ class PathORAM:
         stats = self._stats
         stats.path_reads += 1
         stats.blocks_read += count
+
+    def _fused_single_access(
+        self,
+        address: int,
+        leaf: int,
+        new_leaf: int,
+        is_write: bool,
+        data: Any,
+        create: bool,
+        slot: int | None,
+        child_new_leaf: int,
+        labels_per_block: int,
+        child_num_leaves: int,
+    ):
+        """One fully-inlined classified path operation (read to write-back).
+
+        The shared hot body behind :meth:`access_position_block` and
+        :meth:`access_fixed_leaf`: a single-pass classified read, the
+        single-member block update, and the flattened write-back with the
+        buffer-only placement walk inlined — one method call per path
+        operation, every attribute hoisted exactly once.
+
+        Two modes share the body.  With ``slot`` set (position-map mode,
+        ``is_write``/``create`` are ignored and the block always
+        materialises) the block's label vector is updated in place and the
+        displaced child leaf is returned.  With ``slot=None`` (data mode)
+        the payload is read or written per ``is_write``/``create`` and
+        ``(result_data, found)`` is returned.
+
+        Only valid when :attr:`_classified_fast` is set; the caller has
+        validated ``address`` and updated this ORAM's position map.
+        """
+        stash_blocks = self._stash_blocks
+        by_leaf = self._stash_by_leaf
+        slots = self._slots
+        table = self._deepest_table
+        pools = self._by_deepest_buffer
+
+        block = stash_blocks.get(address)
+        in_stash = block is not None
+
+        # ---- single-pass path read + classification ----
+        # KEEP IN SYNC with _read_path_classified and the inline copy in
+        # access_many.
+        if self._record_path_trace:
+            self._path_trace.append(leaf)
+        pairs = self._path_pairs
+        pair = pairs[leaf]
+        if pair is None:
+            bases = self._storage._bases(leaf)  # noqa: SLF001 - friend fast path
+            pair = pairs[leaf] = (bases, bases[::-1])
+        bases, rbases = pair
+        pending = 0
+        target = None
+        if in_stash:
+            for base in bases:
+                count = slots[base]
+                if count:
+                    pending += count
+                    if count == 1:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 2:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    else:
+                        for blk in slots[base + 1 : base + 1 + count]:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+        else:
+            for base in bases:
+                count = slots[base]
+                if count:
+                    pending += count
+                    if count == 1:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 2:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    else:
+                        for blk in slots[base + 1 : base + 1 + count]:
+                            if blk.address == address:
+                                target = blk
+                            else:
+                                pools[table[blk.leaf ^ leaf]].append(blk)
+        transient = len(stash_blocks) + pending
+        if transient > self._transient_peak:
+            self._transient_peak = transient
+        stats = self._stats
+        stats.path_reads += 1
+        stats.blocks_read += pending
+
+        # ---- locate (or create) the block, retarget to new_leaf ----
+        found = True
+        if in_stash:
+            if block.leaf != new_leaf:
+                bucket = by_leaf.get(block.leaf)
+                if bucket is not None:
+                    for position, candidate in enumerate(bucket):
+                        if candidate is block:
+                            last = bucket.pop()
+                            if last is not block:
+                                bucket[position] = last
+                            break
+                    if not bucket:
+                        del by_leaf[block.leaf]
+                block.leaf = new_leaf
+                bucket = by_leaf.get(new_leaf)
+                if bucket is None:
+                    by_leaf[new_leaf] = [block]
+                else:
+                    bucket.append(block)
+        elif target is not None:
+            block = target
+            # Retargeted, then classified last in its class pool (the
+            # shared tie-break order).
+            block.leaf = new_leaf
+            pools[table[new_leaf ^ leaf]].append(block)
+        elif slot is not None or is_write or create:
+            found = False
+            pool = self._block_pool
+            if pool:
+                block = pool.pop()
+                block.address = address
+                block.leaf = new_leaf
+                block.data = None
+            else:
+                block = Block(address=address, leaf=new_leaf, data=None)
+            stash = self._stash
+            stash_blocks[address] = block
+            bucket = by_leaf.get(new_leaf)
+            if bucket is None:
+                by_leaf[new_leaf] = [block]
+            else:
+                bucket.append(block)
+            occupancy = len(stash_blocks)
+            if occupancy > stash._max_occupancy:  # noqa: SLF001
+                stash._max_occupancy = occupancy  # noqa: SLF001
+        else:
+            found = False
+            block = None
+
+        if slot is not None:
+            labels = block.data
+            if labels is None:
+                randrange = self._rng.randrange
+                labels = [randrange(child_num_leaves) for _ in range(labels_per_block)]
+                block.data = labels
+            result = labels[slot]
+            labels[slot] = child_new_leaf
+        elif block is not None:
+            if is_write:
+                block.data = data
+            result = block.data
+        else:
+            result = None
+
+        # ---- flattened write-back: bucket stash candidates ----
+        has_stash = False
+        if by_leaf:
+            by_stash = self._by_deepest_stash
+            caps = self._class_cap
+            base_pending = pending
+            for other_leaf, group in by_leaf.items():
+                deepest = table[other_leaf ^ leaf]
+                ready = by_stash[deepest]
+                if len(ready) < caps[deepest]:
+                    ready.extend(group)
+                    pending += len(group)
+            has_stash = pending != base_pending
+
+        if has_stash:
+            # Cold path: stash candidates compete for slots too.
+            self._path_rbases = rbases
+            written, placed_stash, spilled = self._place_into_slots(pending)
+            if placed_stash:
+                self._stash.remove_placed(placed_stash)
+        else:
+            # ---- fused buffer-only placement (dominant case) ----
+            # KEEP IN SYNC with _place_buffer_only and the inline copy in
+            # access_many.
+            z = self._z
+            by_buffer_rev = self._by_buffer_rev
+            spilled = None
+            occupancy_delta = 0
+            written = 0
+            nb = 0
+            placement = zip(rbases, by_buffer_rev)
+            for base, b_ready in placement:
+                old = slots[base]
+                if b_ready and not nb:
+                    rb = len(b_ready)
+                    if rb <= z:
+                        slots[base + 1 : base + 1 + rb] = b_ready
+                        b_ready.clear()
+                        take = rb
+                    else:
+                        nb = rb - z
+                        slots[base + 1 : base + 1 + z] = b_ready[nb:]
+                        del b_ready[nb:]
+                        if spilled is None:
+                            spilled = []
+                        spilled.extend(b_ready)
+                        b_ready.clear()
+                        take = z
+                elif nb:
+                    if b_ready:
+                        spilled.extend(b_ready)
+                        b_ready.clear()
+                        nb = len(spilled)
+                    take = nb if nb < z else z
+                    nb -= take
+                    slots[base + 1 : base + 1 + take] = spilled[nb:]
+                    del spilled[nb:]
+                else:
+                    if old:
+                        slots[base] = 0
+                        occupancy_delta -= old
+                    continue
+                if old != take:
+                    slots[base] = take
+                    occupancy_delta += take - old
+                written += take
+                if written == pending:
+                    # Everything is placed: the remaining (shallower)
+                    # buckets only need their counts zeroed.
+                    for base, b_ready in placement:
+                        old = slots[base]
+                        if old:
+                            slots[base] = 0
+                            occupancy_delta -= old
+                    break
+            self._storage._occupancy += occupancy_delta  # noqa: SLF001
+
+        if spilled:
+            add = self._stash.add
+            for kept_block in spilled:
+                add(kept_block)
+        stats.path_writes += 1
+        stats.blocks_written += written
+
+        if slot is not None:
+            return result
+        return result, found
+
+    def _read_path_classified(
+        self, leaf: int, address: int | None
+    ) -> tuple[tuple[int, ...], int, Block | None]:
+        """Single-pass path read for the classified fast path.
+
+        Reads the path to ``leaf`` and classifies every block by the
+        deepest level it may occupy on that same path, straight into the
+        by-buffer class pools — fusing the path read with the write-back's
+        classification pass, with no intermediate path-buffer list.  When
+        ``address`` is given (the accessed block is not in the stash), the
+        matching block is *not* classified but returned as ``target``; the
+        caller classifies it after retargeting, so the freshly remapped
+        block always sits last in its class pool — the same tie-break the
+        buffer-based generic path applies by moving the accessed block to
+        the end of the path buffer.
+
+        Only valid when :attr:`_classified_fast` is set.  Returns
+        ``(rbases, count, target)``: the deepest-first bucket bases for the
+        placement walk, the number of real blocks read, and the matched
+        block (``None`` when absent or not asked for).
+
+        This is the canonical copy of the single-pass read; for per-call
+        overhead reasons :meth:`access_many` and
+        :meth:`_fused_single_access` inline the same body — keep all three
+        in sync.
+        """
+        if self._record_path_trace:
+            self._path_trace.append(leaf)
+        pairs = self._path_pairs
+        pair = pairs[leaf]
+        if pair is None:
+            bases = self._storage._bases(leaf)  # noqa: SLF001 - friend fast path
+            pair = pairs[leaf] = (bases, bases[::-1])
+        bases, rbases = pair
+        slots = self._slots
+        table = self._deepest_table
+        pools = self._by_deepest_buffer
+        pending = 0
+        target: Block | None = None
+        if address is None:
+            for base in bases:
+                count = slots[base]
+                if count:
+                    pending += count
+                    if count == 1:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 2:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    else:
+                        for blk in slots[base + 1 : base + 1 + count]:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+        else:
+            for base in bases:
+                count = slots[base]
+                if count:
+                    pending += count
+                    if count == 1:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 2:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    else:
+                        for blk in slots[base + 1 : base + 1 + count]:
+                            if blk.address == address:
+                                target = blk
+                            else:
+                                pools[table[blk.leaf ^ leaf]].append(blk)
+        transient = len(self._stash_blocks) + pending
+        if transient > self._transient_peak:
+            self._transient_peak = transient
+        stats = self._stats
+        stats.path_reads += 1
+        stats.blocks_read += pending
+        return rbases, pending, target
+
+    def _write_back_classified(
+        self, leaf: int, rbases: tuple[int, ...], pending: int
+    ) -> None:
+        """Write-back counterpart of :meth:`_read_path_classified`.
+
+        The buffer-side candidates were already classified during the path
+        read (plus the retargeted accessed block, appended by the caller);
+        this buckets the stash by distinct leaf (capped per class), runs the
+        fused deepest-first placement straight into the slot array and
+        applies the two remainders to the stash's indexes.
+        """
+        by_leaf = self._stash_by_leaf
+        self._path_rbases = rbases
+        if by_leaf:
+            by_stash = self._by_deepest_stash
+            table = self._deepest_table
+            caps = self._class_cap
+            base_pending = pending
+            for other_leaf, group in by_leaf.items():
+                deepest = table[other_leaf ^ leaf]
+                ready = by_stash[deepest]
+                if len(ready) < caps[deepest]:
+                    ready.extend(group)
+                    pending += len(group)
+            if pending != base_pending:
+                written, placed_stash, avail_buffer = self._place_into_slots(pending)
+                if placed_stash:
+                    self._stash.remove_placed(placed_stash)
+                if avail_buffer:
+                    add = self._stash.add
+                    for block in avail_buffer:
+                        add(block)
+                stats = self._stats
+                stats.path_writes += 1
+                stats.blocks_written += written
+                return
+        written, avail_buffer = self._place_buffer_only(pending)
+        if avail_buffer:
+            add = self._stash.add
+            for block in avail_buffer:
+                add(block)
+        stats = self._stats
+        stats.path_writes += 1
+        stats.blocks_written += written
 
     def _write_back_path(self, leaf: int) -> None:
         """Greedy eviction: place stash blocks as deep as possible on ``leaf``'s path.
@@ -745,9 +1622,9 @@ class PathORAM:
                     if len(ready) < caps[deepest]:
                         ready.extend(group)
                         pending += len(group)
-            appends = self._buffer_appends
+            pools = self._by_deepest_buffer
             for block in buffer:
-                appends[table[block.leaf ^ leaf]](block)
+                pools[table[block.leaf ^ leaf]].append(block)
         else:
             if by_leaf:
                 for other_leaf, group in by_leaf.items():
@@ -757,10 +1634,10 @@ class PathORAM:
                     if len(ready) < caps[deepest]:
                         ready.extend(group)
                         pending += len(group)
-            appends = self._buffer_appends
+            pools = self._by_deepest_buffer
             for block in buffer:
                 diff = block.leaf ^ leaf
-                appends[levels if not diff else levels - diff.bit_length()](block)
+                pools[levels if not diff else levels - diff.bit_length()].append(block)
 
         if self._fused:
             written, placed_stash, avail_buffer = self._place_into_slots(pending)
@@ -808,11 +1685,11 @@ class PathORAM:
         for base, b_ready, s_ready in zip(
             self._path_rbases, self._by_buffer_rev, self._by_stash_rev
         ):
+            old = slots[base]
             if written == pending:
                 # Every candidate is placed; shallower buckets only need
                 # their counts zeroed (slots beyond a bucket's count are
                 # never read, so stale references need no clearing).
-                old = slots[base]
                 if old:
                     slots[base] = 0
                     occupancy_delta -= old
@@ -853,13 +1730,81 @@ class PathORAM:
                 slots[base + 1 + take : base + 1 + take + extra] = placed
                 placed_stash += placed
                 take += extra
-            old = slots[base]
             if old != take:
                 slots[base] = take
                 occupancy_delta += take - old
             written += take
         storage._occupancy += occupancy_delta  # noqa: SLF001
         return written, placed_stash, avail_buffer
+
+    def _place_buffer_only(self, pending: int) -> tuple[int, list[Block]]:
+        """Fused placement when no stash candidates were collected.
+
+        The dominant steady-state case: the only candidates are the freshly
+        read path blocks (plus the retargeted accessed block), so the
+        stash-side pools, caps and the placed-stash remainder drop out of
+        the walk entirely.  Chooses exactly the blocks
+        :meth:`_place_into_slots` would with empty stash classes.  Returns
+        the number of blocks written and the leftover buffer blocks (which
+        enter the stash).
+
+        This is the canonical copy of the buffer-only walk; for per-call
+        overhead reasons :meth:`access_many` and
+        :meth:`_fused_single_access` inline the same body — keep all three
+        in sync.
+        """
+        z = self._z
+        storage = self._storage
+        slots = self._slots
+        avail_buffer: list[Block] = []
+        occupancy_delta = 0
+        written = 0
+        nb = 0
+        placement = zip(self._path_rbases, self._by_buffer_rev)
+        for base, b_ready in placement:
+            old = slots[base]
+            if b_ready and not nb:
+                rb = len(b_ready)
+                if rb <= z:
+                    slots[base + 1 : base + 1 + rb] = b_ready
+                    b_ready.clear()
+                    take = rb
+                else:
+                    nb = rb - z
+                    slots[base + 1 : base + 1 + z] = b_ready[nb:]
+                    del b_ready[nb:]
+                    avail_buffer.extend(b_ready)
+                    b_ready.clear()
+                    take = z
+            elif nb:
+                if b_ready:
+                    avail_buffer.extend(b_ready)
+                    b_ready.clear()
+                    nb = len(avail_buffer)
+                take = nb if nb < z else z
+                nb -= take
+                slots[base + 1 : base + 1 + take] = avail_buffer[nb:]
+                del avail_buffer[nb:]
+            else:
+                if old:
+                    slots[base] = 0
+                    occupancy_delta -= old
+                continue
+            if old != take:
+                slots[base] = take
+                occupancy_delta += take - old
+            written += take
+            if written == pending:
+                # Everything is placed: the remaining (shallower) buckets
+                # only need their counts zeroed.
+                for base, b_ready in placement:
+                    old = slots[base]
+                    if old:
+                        slots[base] = 0
+                        occupancy_delta -= old
+                break
+        storage._occupancy += occupancy_delta  # noqa: SLF001
+        return written, avail_buffer
 
     def _place_into_levels(self, leaf: int) -> tuple[int, list[Block], list[Block]]:
         """Generic placement: build per-level buckets and hand them to the

@@ -43,6 +43,29 @@ class Block:
 
 
 @dataclass(slots=True)
+class TraceResult:
+    """Aggregate outcome of a trace-at-once :meth:`access_many` run.
+
+    The fused loop is bit-identical to calling ``access`` once per trace
+    element but does not materialise one :class:`AccessResult` per access;
+    this envelope carries the aggregate counters instead.
+
+    Attributes
+    ----------
+    accesses:
+        Number of trace elements executed.
+    found:
+        How many of them hit a block that existed before the access.
+    dummy_accesses:
+        Total background-eviction dummy accesses issued during the run.
+    """
+
+    accesses: int = 0
+    found: int = 0
+    dummy_accesses: int = 0
+
+
+@dataclass(slots=True)
 class AccessResult:
     """What a single ORAM access returned to the caller.
 

@@ -25,7 +25,7 @@ from repro.dram.address_mapping import AddressMapping, DRAMLocation
 from repro.dram.config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class _BankState:
     open_row: int | None = None
     ready_cycle: float = 0.0
@@ -33,7 +33,7 @@ class _BankState:
     write_recovery_until: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Counters accumulated across transactions."""
 

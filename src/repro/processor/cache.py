@@ -8,7 +8,7 @@ from dataclasses import dataclass
 from repro.processor.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """A line pushed out of a cache level."""
 
@@ -16,7 +16,7 @@ class EvictedLine:
     dirty: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters for one cache level."""
 

@@ -19,7 +19,7 @@ from repro.dram.address_mapping import AddressMapping
 from repro.dram.config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchResult:
     """Outcome of fetching one line from memory."""
 
@@ -27,7 +27,7 @@ class FetchResult:
     prefetched_lines: list[int] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class BackendStats:
     """Counters shared by every memory back-end."""
 

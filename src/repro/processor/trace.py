@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 from repro.errors import TraceFormatError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One memory operation in a program trace.
 

@@ -22,6 +22,7 @@ Typical use::
 
 from repro.runner.runner import ExperimentRunner, ProgressCallback, RunnerError
 from repro.runner.spec import ExperimentResult, ExperimentSpec, derive_seed
+from repro.runner.windows import WindowPlan, merge_counters, run_windows, window_specs
 
 __all__ = [
     "ExperimentRunner",
@@ -29,5 +30,9 @@ __all__ = [
     "ExperimentResult",
     "ProgressCallback",
     "RunnerError",
+    "WindowPlan",
     "derive_seed",
+    "merge_counters",
+    "run_windows",
+    "window_specs",
 ]

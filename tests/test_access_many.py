@@ -1,0 +1,259 @@
+"""Differential tests for the trace-at-once execution path.
+
+``access_many`` must be bit-for-bit identical to calling ``access`` once
+per trace element: same tree contents, same stash, same position map, same
+statistics, same RNG stream, for every protocol and storage stack.  These
+tests replay the same trace through both paths on independently seeded
+twins and compare full state fingerprints.
+"""
+
+import random
+
+import pytest
+
+from repro.backends import OramSpec, build_oram, storage_backends
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.types import Operation, TraceResult
+from repro.errors import ConfigurationError
+
+#: Storage stacks every differential case runs over.  ``numpy-flat`` joins
+#: automatically when NumPy is importable (the registry omits it otherwise,
+#: which is itself asserted in test_backends).
+STACKS = [name for name in ("flat", "plain", "encrypted", "numpy-flat")
+          if name in storage_backends()]
+
+
+def oram_fingerprint(oram):
+    """Full observable state of one PathORAM (tree, stash, map, stats)."""
+    storage = oram.storage
+    tree = tuple(
+        tuple((block.address, block.leaf, repr(block.data))
+              for block in storage.read_bucket(index))
+        for index in range(storage.num_buckets)
+    )
+    stash = tuple(sorted(
+        (block.address, block.leaf, repr(block.data))
+        for block in oram._stash.blocks()
+    ))
+    stats = oram.stats
+    return (
+        tree,
+        stash,
+        tuple(oram.position_map.leaves),
+        stats.real_accesses,
+        stats.dummy_accesses,
+        stats.path_reads,
+        stats.path_writes,
+        stats.blocks_read,
+        stats.blocks_written,
+        tuple(stats.stash_occupancy_samples),
+        oram.max_stash_occupancy,
+        storage.occupancy(),
+    )
+
+
+def fingerprint(oram):
+    if isinstance(oram, HierarchicalPathORAM):
+        return tuple(oram_fingerprint(sub) for sub in oram.orams) + (
+            tuple(oram.onchip_position_map.leaves),
+            oram.stats.real_accesses,
+            oram.stats.dummy_accesses,
+        )
+    return oram_fingerprint(oram)
+
+
+def random_trace(working_set: int, length: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(1, working_set + 1) for _ in range(length)]
+
+
+class TestFlatAccessMany:
+    @pytest.mark.parametrize("storage", STACKS)
+    def test_access_many_matches_looped_access(self, storage):
+        config = ORAMConfig(
+            working_set_blocks=256, z=4, block_bytes=64, stash_capacity=100
+        )
+        spec = OramSpec(protocol="flat", storage=storage)
+        trace = random_trace(256, 1200, seed=3)
+        looped = build_oram(spec, config, seed=7)
+        fused = build_oram(spec, config, seed=7)
+        for address in trace:
+            looped.access(address)
+        result = fused.access_many(trace)
+        assert fingerprint(looped) == fingerprint(fused)
+        assert looped._rng.getstate() == fused._rng.getstate()
+        assert result.accesses == len(trace)
+
+    def test_eviction_heavy_config_stays_identical(self):
+        # Z=1 at high utilization forces background-eviction dummy storms;
+        # the fused loop must interleave them exactly like the access loop.
+        config = ORAMConfig(
+            working_set_blocks=512, utilization=0.8, z=1,
+            block_bytes=64, stash_capacity=40,
+        )
+        spec = OramSpec(
+            protocol="flat", storage="flat",
+            eviction="background", livelock_limit=200_000,
+        )
+        trace = random_trace(512, 2000, seed=6)
+        looped = build_oram(spec, config, seed=9)
+        fused = build_oram(spec, config, seed=9)
+        dummy_total = 0
+        for address in trace:
+            dummy_total += looped.access(address).dummy_accesses
+        result = fused.access_many(trace)
+        assert looped.stats.dummy_accesses > 0, "config must exercise eviction"
+        assert result.dummy_accesses == dummy_total
+        assert fingerprint(looped) == fingerprint(fused)
+        assert looped._rng.getstate() == fused._rng.getstate()
+
+    def test_writes_and_found_counts(self):
+        config = ORAMConfig(
+            working_set_blocks=128, z=4, block_bytes=64, stash_capacity=80
+        )
+        spec = OramSpec(protocol="flat", storage="flat")
+        trace = random_trace(128, 500, seed=2)
+        looped = build_oram(spec, config, seed=5)
+        fused = build_oram(spec, config, seed=5)
+        found = 0
+        for address in trace:
+            found += looped.access(address, Operation.WRITE, b"payload").found
+        result = fused.access_many(trace, Operation.WRITE, b"payload")
+        assert result == TraceResult(
+            accesses=len(trace), found=found, dummy_accesses=result.dummy_accesses
+        )
+        assert fingerprint(looped) == fingerprint(fused)
+
+    def test_occupancy_recording_matches(self):
+        config = ORAMConfig(
+            working_set_blocks=256, z=2, block_bytes=64, stash_capacity=None
+        )
+        spec = OramSpec(protocol="flat", storage="flat", eviction="none")
+        trace = random_trace(256, 1500, seed=4)
+        looped = build_oram(spec, config, seed=1)
+        fused = build_oram(spec, config, seed=1)
+        looped.stats.record_occupancy = True
+        fused.stats.record_occupancy = True
+        for address in trace:
+            looped.access(address)
+        fused.access_many(trace)
+        assert (
+            looped.stats.stash_occupancy_samples
+            == fused.stats.stash_occupancy_samples
+        )
+        assert fingerprint(looped) == fingerprint(fused)
+
+    def test_invalid_address_raises_before_any_access(self):
+        config = ORAMConfig(
+            working_set_blocks=64, z=4, block_bytes=64, stash_capacity=60
+        )
+        oram = build_oram(OramSpec(protocol="flat", storage="flat"), config, seed=3)
+        with pytest.raises(ConfigurationError):
+            oram.access_many([1, 2, 65])
+        # Up-front validation: nothing ran.
+        assert oram.stats.real_accesses == 0
+
+    def test_super_block_config_falls_back_identically(self):
+        config = ORAMConfig(
+            working_set_blocks=128, z=4, block_bytes=64,
+            stash_capacity=100, super_block_size=2,
+        )
+        spec = OramSpec(protocol="flat", storage="flat")
+        trace = random_trace(128, 400, seed=8)
+        looped = build_oram(spec, config, seed=2)
+        fused = build_oram(spec, config, seed=2)
+        for address in trace:
+            looped.access(address)
+        fused.access_many(trace)
+        assert fingerprint(looped) == fingerprint(fused)
+
+
+class TestHierarchicalAccessMany:
+    def _hierarchy(self, z: int = 3, stash_capacity: int = 60) -> HierarchyConfig:
+        data = ORAMConfig(
+            working_set_blocks=512, z=z, block_bytes=64,
+            stash_capacity=stash_capacity,
+        )
+        return HierarchyConfig(
+            data_oram=data,
+            position_map_block_bytes=8,
+            position_map_z=3,
+            onchip_position_map_limit_bytes=128,
+        )
+
+    @pytest.mark.parametrize("storage", STACKS)
+    def test_access_many_matches_looped_access(self, storage):
+        hierarchy = self._hierarchy()
+        spec = OramSpec(protocol="hierarchical", storage=storage)
+        trace = random_trace(512, 800, seed=5)
+        looped = build_oram(spec, hierarchy, seed=7)
+        fused = build_oram(spec, hierarchy, seed=7)
+        for address in trace:
+            looped.access(address)
+        result = fused.access_many(trace)
+        assert fingerprint(looped) == fingerprint(fused)
+        assert looped._rng.getstate() == fused._rng.getstate()
+        assert result.accesses == len(trace)
+
+    def test_dummy_rounds_interleave_identically(self):
+        # A tight data stash triggers hierarchy-wide dummy rounds.
+        data = ORAMConfig(
+            working_set_blocks=1024, z=2, block_bytes=128, stash_capacity=40
+        )
+        hierarchy = HierarchyConfig(
+            data_oram=data,
+            position_map_block_bytes=8,
+            position_map_z=3,
+            onchip_position_map_limit_bytes=256,
+        )
+        spec = OramSpec(protocol="hierarchical", storage="flat")
+        trace = random_trace(1024, 6000, seed=9)
+        looped = build_oram(spec, hierarchy, seed=7)
+        fused = build_oram(spec, hierarchy, seed=7)
+        rounds = 0
+        for address in trace:
+            rounds += looped.access(address).dummy_accesses
+        result = fused.access_many(trace)
+        assert looped.stats.dummy_accesses > 0, "config must exercise dummy rounds"
+        assert result.dummy_accesses == rounds
+        assert fingerprint(looped) == fingerprint(fused)
+        assert looped._rng.getstate() == fused._rng.getstate()
+
+    def test_super_block_data_oram_matches(self):
+        data = ORAMConfig(
+            working_set_blocks=256, z=4, block_bytes=64,
+            stash_capacity=100, super_block_size=2,
+        )
+        hierarchy = HierarchyConfig(
+            data_oram=data,
+            position_map_block_bytes=8,
+            position_map_z=3,
+            onchip_position_map_limit_bytes=128,
+        )
+        spec = OramSpec(protocol="hierarchical", storage="flat")
+        trace = random_trace(256, 600, seed=4)
+        looped = build_oram(spec, hierarchy, seed=6)
+        fused = build_oram(spec, hierarchy, seed=6)
+        for address in trace:
+            looped.access(address)
+        fused.access_many(trace)
+        assert fingerprint(looped) == fingerprint(fused)
+
+
+class TestBlockPool:
+    def test_extract_recycles_and_creation_reuses(self):
+        config = ORAMConfig(
+            working_set_blocks=64, z=4, block_bytes=64, stash_capacity=100
+        )
+        oram = build_oram(OramSpec(protocol="flat", storage="flat"), config, seed=1)
+        oram.access_many(range(1, 65))
+        assert not oram._block_pool
+        extracted = oram.extract(5)
+        assert 5 in extracted
+        assert oram._block_pool, "extraction must feed the free-list"
+        shell = oram._block_pool[-1]
+        # The next miss-created block reuses the recycled shell.
+        oram.access_many([5])
+        assert oram.contains(5)
+        assert shell.address == 5

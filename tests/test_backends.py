@@ -173,3 +173,43 @@ class TestRegistration:
             from repro import backends
 
             backends._STORAGE_BUILDERS.pop(name, None)
+
+
+class TestNumpyFlatStack:
+    """The optional NumPy slot-array storage stack (``numpy-flat``)."""
+
+    def test_registration_tracks_numpy_availability(self):
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            assert "numpy-flat" not in storage_backends()
+            with pytest.raises(ConfigurationError):
+                OramSpec(storage="numpy-flat")
+        else:
+            assert "numpy-flat" in storage_backends()
+
+    def test_builds_column_storage(self):
+        pytest.importorskip("numpy")
+        from repro.core.numpy_tree import NumpyFlatTreeStorage
+
+        oram = build_oram(OramSpec(storage="numpy-flat"), _config(), seed=3)
+        assert isinstance(oram.storage, NumpyFlatTreeStorage)
+        oram.write(5, b"x")
+        assert oram.read(5).data == b"x"
+        assert oram.storage.occupancy() == oram.total_blocks_stored() - oram.stash_occupancy
+        assert oram.storage.column_nbytes() > 0
+
+    def test_round_trips_payloads_through_columns(self):
+        pytest.importorskip("numpy")
+        config = _config()
+        oram = build_oram(OramSpec(storage="numpy-flat"), config, seed=5)
+        payloads = {address: bytes([address]) * 4 for address in range(1, 33)}
+        for address, payload in payloads.items():
+            oram.write(address, payload)
+        for address, payload in payloads.items():
+            assert oram.read(address).data == payload
+
+    def test_spec_with_numpy_flat_travels_through_pickle(self):
+        pytest.importorskip("numpy")
+        spec = OramSpec(storage="numpy-flat")
+        assert pickle.loads(pickle.dumps(spec)) == spec
