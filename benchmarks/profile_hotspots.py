@@ -9,11 +9,14 @@ guesses.  The configurations match the perf benchmarks
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_hotspots.py [--accesses N]
-        [--top K] [--loop]
+        [--top K] [--loop] [--stack {flat,numpy-flat,hierarchy,all}]
 
 ``--loop`` profiles the per-access ``access()`` loop instead of the fused
 ``access_many`` path — useful for measuring how much the trace-at-once
-layer amortises.
+layer amortises.  ``--stack`` selects which replay to profile: the
+list-backed flat engine, the column-native ``numpy-flat`` engine, the
+recursive hierarchy, or (default) all of them — so column-native hotspots
+are profiled with the same harness as the list-engine ones.
 """
 
 import argparse
@@ -47,6 +50,19 @@ def _flat_engine():
         build_oram(OramSpec(protocol="flat", storage="flat"), config, seed=7),
         FLAT_WORKING_SET,
     )
+
+
+def _numpy_flat_engine():
+    config = ORAMConfig(
+        working_set_blocks=FLAT_WORKING_SET, z=4, block_bytes=128, stash_capacity=200
+    )
+    oram = build_oram(
+        OramSpec(protocol="flat", storage="numpy-flat"), config, seed=7
+    )
+    # Prefill through the column-native trace loop (much faster than the
+    # per-access path on this stack).
+    oram.access_many(range(1, FLAT_WORKING_SET + 1))
+    return oram
 
 
 def _hier_engine():
@@ -96,13 +112,29 @@ def main(argv=None) -> int:
                         help="hotspots to print per replay (default 20)")
     parser.add_argument("--loop", action="store_true",
                         help="profile the per-access loop instead of access_many")
+    parser.add_argument("--stack", default="all",
+                        choices=("flat", "numpy-flat", "hierarchy", "all"),
+                        help="which replay to profile (default: all)")
     args = parser.parse_args(argv)
 
+    replays = {
+        "flat": ("flat", _flat_engine, FLAT_WORKING_SET),
+        "numpy-flat": ("numpy-flat", _numpy_flat_engine, FLAT_WORKING_SET),
+        "hierarchy": ("hierarchical", _hier_engine, HIER_WORKING_SET),
+    }
+    if args.stack == "all":
+        selected = list(replays.values())
+    else:
+        selected = [replays[args.stack]]
+    if args.stack in ("numpy-flat", "all"):
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            selected = [entry for entry in selected if entry[0] != "numpy-flat"]
+            print("(numpy not installed; skipping the numpy-flat replay)")
+
     mode = "access() loop" if args.loop else "access_many (trace-at-once)"
-    for name, builder, working_set in (
-        ("flat", _flat_engine, FLAT_WORKING_SET),
-        ("hierarchical", _hier_engine, HIER_WORKING_SET),
-    ):
+    for name, builder, working_set in selected:
         print("=" * 72)
         print(f"{name} replay — {args.accesses} accesses via {mode}")
         print("=" * 72)

@@ -104,6 +104,22 @@ class OramSpec:
         in the spec so pool workers derive identical ciphers).
     create_on_miss / record_path_trace / livelock_limit:
         Forwarded to the protocol object.
+    coalesce_position_ops:
+        Hierarchical protocol only: let ``access_many`` serve consecutive
+        accesses resolving through the same position-map block from one
+        fused path op (see
+        :class:`~repro.core.hierarchical.HierarchicalPathORAM`).  A pure
+        throughput lever for trace replays — logical results are
+        unchanged, the physical op sequence is not, so analyses of the
+        physical access pattern should leave it off.
+    columnar_min_slots:
+        ``numpy-flat`` stack only: an ORAM whose tree has fewer than this
+        many block slots falls back to the list-backed
+        :class:`FlatTreeStorage`.  NumPy's per-call overhead outweighs the
+        column gathers on small trees (short paths), so a hierarchical
+        spec can run its big data ORAM column-native while its small
+        position-map ORAMs stay on the list engine.  0 (default) keeps
+        every ORAM columnar.
     """
 
     protocol: str = "flat"
@@ -113,6 +129,8 @@ class OramSpec:
     create_on_miss: bool = True
     record_path_trace: bool = False
     livelock_limit: int = 100_000
+    coalesce_position_ops: bool = False
+    columnar_min_slots: int = 0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -139,6 +157,12 @@ class OramSpec:
                 "the recursive construction materialises missing blocks "
                 "(position-map blocks must exist); create_on_miss=False is "
                 "only meaningful for the flat protocol"
+            )
+        if self.protocol == "flat" and self.coalesce_position_ops:
+            raise ConfigurationError(
+                "coalesce_position_ops batches position-map path ops; the "
+                "flat protocol has no position-map chain (use "
+                "protocol='hierarchical')"
             )
 
     def with_updates(self, **kwargs: Any) -> "OramSpec":
@@ -170,7 +194,21 @@ else:
 
     @register_storage("numpy-flat")
     def _numpy_flat_storage(spec: OramSpec) -> StorageFactory:
-        return NumpyFlatTreeStorage
+        minimum = spec.columnar_min_slots
+        if minimum <= 0:
+            return NumpyFlatTreeStorage
+
+        def factory(config: ORAMConfig) -> TreeStorage:
+            # Small trees (short paths) are faster on the list engine than
+            # under NumPy's per-call overhead; a hierarchical spec can
+            # therefore keep its small position-map ORAMs list-backed
+            # while the big data ORAM runs column-native.  Both stacks are
+            # bit-identical, so the cutoff only moves throughput.
+            if config.num_buckets * config.z >= minimum:
+                return NumpyFlatTreeStorage(config)
+            return FlatTreeStorage(config)
+
+        return factory
 
 
 def _cipher_for(config: ORAMConfig, key: ProcessorKey):
@@ -205,6 +243,54 @@ def _integrity_storage(spec: OramSpec) -> StorageFactory:
 def storage_factory(spec: OramSpec) -> StorageFactory:
     """The storage factory for a spec's storage stack."""
     return _STORAGE_BUILDERS[spec.storage](spec)
+
+
+#: Tree size (total block slots) from which the design-space drivers switch
+#: a "flat" spec onto the ``numpy-flat`` columns: at this scale the tree's
+#: metadata as three int64 ndarrays is decisively cheaper than millions of
+#: Python Block objects, and the column-native engine keeps the paths fast.
+#: Below it the list engine's per-block costs beat NumPy's per-call
+#: overhead, so moderate grids are left exactly as specified.
+FULL_SCALE_SLOTS = 1 << 20
+
+
+def full_scale_spec(
+    spec: OramSpec, config: ORAMConfig | HierarchyConfig
+) -> OramSpec:
+    """Route a full-scale grid point onto the ``numpy-flat`` stack.
+
+    Returns ``spec`` unchanged unless all of the following hold: the spec
+    names the ``"flat"`` storage stack (an explicitly chosen stack — plain,
+    encrypted, integrity, or already numpy — is always respected), NumPy is
+    available (the stack is registered), the configuration uses
+    single-member super-block groups (the column engine declines grouped
+    ORAMs, so routing a super-block config would land it on the *generic*
+    loop — slower than the list engine it replaced), and ``config``
+    describes a tree of at least :data:`FULL_SCALE_SLOTS` block slots (for
+    a hierarchy, its largest ORAM).  The returned spec keeps ORAMs below
+    the threshold on the list-backed storage via ``columnar_min_slots``,
+    so a full-scale hierarchy runs its huge data ORAM column-native while
+    the small position-map ORAMs stay on the list engine.
+
+    Either way the simulated results are bit-identical — the differential
+    suites pin the stacks against each other — so the drivers apply this
+    freely inside pool workers.
+    """
+    if spec.storage != "flat" or "numpy-flat" not in _STORAGE_BUILDERS:
+        return spec
+    if isinstance(config, HierarchyConfig):
+        if config.data_oram.super_block_size != 1:
+            return spec
+        slots = max(c.num_buckets * c.z for c in config.oram_configs)
+    else:
+        if config.super_block_size != 1:
+            return spec
+        slots = config.num_buckets * config.z
+    if slots < FULL_SCALE_SLOTS:
+        return spec
+    return spec.with_updates(
+        storage="numpy-flat", columnar_min_slots=FULL_SCALE_SLOTS
+    )
 
 
 def _eviction_policy(
@@ -269,6 +355,7 @@ def build_oram(
         storage_factory=storage_factory(spec),
         record_path_trace=spec.record_path_trace,
         livelock_limit=spec.livelock_limit,
+        coalesce_position_ops=spec.coalesce_position_ops,
     )
 
 

@@ -38,6 +38,23 @@ from repro.errors import ConfigurationError, ReproError, StashOverflowError
 StorageFactory = Callable[[ORAMConfig], TreeStorage]
 
 
+def _fused_op(oram: PathORAM):
+    """The ORAM's fully-inlined fused path op, or ``None``.
+
+    The list engine's classified fast path and the column-native NumPy
+    engine share one calling convention (see
+    :meth:`PathORAM._fused_single_access`), so the hierarchical chain walk
+    treats them interchangeably — a hierarchy may even mix them per level
+    (e.g. a columnar data ORAM over list-backed position maps).
+    """
+    if oram._classified_fast:  # noqa: SLF001
+        return oram._fused_single_access  # noqa: SLF001
+    engine = oram._column_engine  # noqa: SLF001
+    if engine is not None:
+        return engine.fused_single_access
+    return None
+
+
 class HierarchicalPathORAM:
     """A chain of Path ORAMs implementing the recursive construction.
 
@@ -54,6 +71,17 @@ class HierarchicalPathORAM:
         Forwarded to each underlying :class:`PathORAM`.
     livelock_limit:
         Safety cap on dummy rounds per eviction trigger.
+    coalesce_position_ops:
+        When True, :meth:`access_many` serves consecutive trace accesses
+        that resolve through the same position-map block at a level from
+        one fused path operation: the first access reads the block in and
+        later accesses retarget their labels in the read-in block directly
+        instead of issuing one path op per level per access.  Results
+        (found blocks, payloads, the position-map chain's consistency) are
+        unchanged; the *physical* access sequence shrinks, so per-ORAM
+        ``stats.path_reads`` drop and ``stats.coalesced_ops`` counts the
+        ops saved.  Off by default because the physical trace differs from
+        the per-access protocol (the differential suites pin that shape).
     """
 
     def __init__(
@@ -63,6 +91,7 @@ class HierarchicalPathORAM:
         storage_factory: StorageFactory | None = None,
         record_path_trace: bool = False,
         livelock_limit: int = 100_000,
+        coalesce_position_ops: bool = False,
     ) -> None:
         self._hierarchy = hierarchy
         self._rng = rng if rng is not None else random.Random()
@@ -118,6 +147,7 @@ class HierarchicalPathORAM:
         self._data_group_of = self._orams[0].super_block_mapper.group_of
         self._onchip_leaves = self._onchip_position_map.leaves
         self._pending_data_leaf = 0
+        self._coalesce = coalesce_position_ops
         self._eviction_order = tuple(reversed(self._orams))
         self._thresholded_orams = tuple(
             (oram, oram.eviction_threshold)
@@ -154,6 +184,11 @@ class HierarchicalPathORAM:
     def onchip_position_map(self) -> PositionMap:
         return self._onchip_position_map
 
+    @property
+    def coalesce_position_ops(self) -> bool:
+        """Whether :meth:`access_many` coalesces position-map path ops."""
+        return self._coalesce
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -189,6 +224,13 @@ class HierarchicalPathORAM:
         blocks), and the per-access over-threshold check reads the stash
         sizes directly — the dummy-round machinery is only entered when a
         stash is actually over its threshold.
+
+        With ``coalesce_position_ops`` the loop additionally skips every
+        position-map path operation whose block is still the one most
+        recently read at that level: the consecutive accesses share the
+        fused path op that read the block in, and only retarget their
+        labels inside it (see the constructor's parameter description).
+        Logical results are unchanged; the physical op sequence is not.
         """
         orams = self._orams
         data_oram = orams[0]
@@ -202,15 +244,15 @@ class HierarchicalPathORAM:
         group_of = self._data_group_of
         labels_per_block = self._labels_per_block
         child_num_leaves = self._child_num_leaves
-        # When every ORAM takes the classified fast path (and the data ORAM
-        # uses single-member groups), each level is one direct call into the
-        # fully-inlined fused path op with deferred per-ORAM stat counters;
+        # When every ORAM has a fully-inlined fused path op — the list
+        # engine's classified fast path or the column-native engine — each
+        # level is one direct call with deferred per-ORAM stat counters;
         # otherwise each level goes through its public method.
+        fused_ops = [_fused_op(oram) for oram in orams]
         all_fused = data_oram._single_member_groups and all(  # noqa: SLF001
-            oram._classified_fast for oram in orams  # noqa: SLF001
+            fused is not None for fused in fused_ops
         )
         if all_fused:
-            fused_ops = [oram._fused_single_access for oram in orams]  # noqa: SLF001
             pm_lists = [oram._pm_leaves for oram in orams]  # noqa: SLF001
             oram_stats = [oram._stats for oram in orams]  # noqa: SLF001
             occ_samplers = [
@@ -223,7 +265,18 @@ class HierarchicalPathORAM:
             d_working_set = data_oram._working_set  # noqa: SLF001
             d_create = data_oram._create_on_miss  # noqa: SLF001
             is_write = op is Operation.WRITE
+            # Coalescing state: per position-map ORAM, the block address of
+            # the last *physical* path op and a live reference to that
+            # block's label vector (payloads ride by reference through the
+            # flat slot array and the NumPy object column alike, so
+            # retargeting the list retargets the read-in block wherever it
+            # currently rests — tree or stash).
+            coalesce = self._coalesce and outer_index > 0
+            last_block = [0] * (outer_index + 1)
+            last_labels: list[list[int] | None] = [None] * (outer_index + 1)
+            coalesced_counts = [0] * (outer_index + 1)
         else:
+            coalesce = False
             pm_access = [oram.access_position_block for oram in orams]
             data_access = (
                 data_oram.access_fixed_leaf
@@ -255,14 +308,44 @@ class HierarchicalPathORAM:
                     current_leaf = onchip[group]
                     onchip[group] = new_leaves[0]
                 elif all_fused:
-                    outer_group = chain[-1][0] - 1
-                    current_leaf = onchip[outer_group]
-                    onchip[outer_group] = new_leaves[outer_index]
-                    for oram_index in range(outer_index, 0, -1):
+                    # Deepest chain entry still served by the block of the
+                    # last physical op at its level.  Matching entries form
+                    # a suffix of the chain: a level-k match implies the
+                    # level-k+1 blocks agree, because whichever access last
+                    # really walked level k+1 also walked level k (real ops
+                    # always cover a bottom segment of the chain).
+                    divergence = 0
+                    if coalesce:
+                        while (
+                            divergence < outer_index
+                            and chain[divergence][0] != last_block[divergence + 1]
+                        ):
+                            divergence += 1
+                    else:
+                        divergence = outer_index
+                    if divergence < outer_index:
+                        # Ops above the boundary touch nothing: their
+                        # blocks do not move and their labels still point
+                        # at the (unmoved) shared sub-chain.
+                        for oram_index in range(divergence + 2, outer_index + 1):
+                            coalesced_counts[oram_index] += 1
+                        # Boundary op: retarget this access's label inside
+                        # the read-in block instead of a fresh path op.
+                        boundary = divergence + 1
+                        labels = last_labels[boundary]
+                        block_address, slot = chain[divergence]
+                        current_leaf = labels[slot]
+                        labels[slot] = new_leaves[divergence]
+                        coalesced_counts[boundary] += 1
+                    else:
+                        outer_group = chain[-1][0] - 1
+                        current_leaf = onchip[outer_group]
+                        onchip[outer_group] = new_leaves[outer_index]
+                    for oram_index in range(divergence, 0, -1):
                         child_index = oram_index - 1
                         block_address, slot = chain[child_index]
                         pm_lists[oram_index][block_address - 1] = new_leaves[oram_index]
-                        current_leaf = fused_ops[oram_index](
+                        current_leaf, labels = fused_ops[oram_index](
                             block_address,
                             current_leaf,
                             new_leaves[oram_index],
@@ -274,6 +357,9 @@ class HierarchicalPathORAM:
                             labels_per_block[child_index],
                             child_num_leaves[child_index],
                         )
+                        if coalesce:
+                            last_block[oram_index] = block_address
+                            last_labels[oram_index] = labels
                         real_counts[oram_index] += 1
                         sampler = occ_samplers[oram_index]
                         if sampler is not None:
@@ -325,6 +411,11 @@ class HierarchicalPathORAM:
             if all_fused:
                 for oram_stat, count in zip(oram_stats, real_counts):
                     oram_stat.real_accesses += count
+                if coalesce:
+                    for oram_index in range(1, outer_index + 1):
+                        count = coalesced_counts[oram_index]
+                        if count:
+                            oram_stats[oram_index].coalesced_ops += count
         return TraceResult(accesses=real, found=found_count, dummy_accesses=rounds_total)
 
     def extract(self, address: int) -> dict[int, Any]:

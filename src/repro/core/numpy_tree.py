@@ -3,20 +3,34 @@
 :class:`NumpyFlatTreeStorage` keeps the ORAM tree as *columns* instead of a
 list of Python objects: per-bucket occupancy counts plus per-slot address
 and leaf labels live in preallocated int64 ndarrays, and only the opaque
-payloads stay in a Python list.  Whole-path reads gather the path's slot
-rows with one precomputed fancy-index per leaf, and the flattened
-write-back scatters counts and slot columns back with slice assignments —
-the ndarray version of :class:`~repro.core.tree.FlatTreeStorage`'s batched
-path operations.
+payloads stay in an aligned object column.  Whole-path reads gather the
+path's slot rows with one precomputed fancy-index per leaf, and the
+flattened write-back scatters counts and slot columns back with slice
+assignments — the ndarray version of
+:class:`~repro.core.tree.FlatTreeStorage`'s batched path operations.
 
-The protocol still works on :class:`~repro.core.types.Block` objects (the
-stash retargets them in place between read and write-back), so path reads
-materialise Block shells from the columns and path writes decompose them
-again.  That round-trip keeps the stack bit-identical to the list-backed
-flat storage — the differential property tests enforce it — while the
-tree's bulk state is numeric and compact: a 4 GB-class tree's metadata fits
-in three ndarrays instead of millions of Python objects, which is what the
-design-space sweeps at the paper's full scale need.
+Two invariants make the columns *self-describing*, which is what the
+column-native execution engine (:mod:`repro.core.numpy_engine`) relies on
+to run whole path operations without materialising a single Python
+:class:`~repro.core.types.Block`:
+
+* every slot row at or past its bucket's count holds ``address == -1``,
+  ``leaf == empty_leaf`` (``2**levels``, outside the real label range) and
+  ``data is None`` — vacated rows are re-padded on every write, so a row's
+  own columns say whether it is live, and an empty row's leaf classifies
+  into a dedicated out-of-range class with no masking pass;
+* one extra *sentinel row* sits at the very end of the columns,
+  permanently empty, so a gather index pointing at it reads an empty slot
+  — the engine's scatter uses it to express "this destination slot stays
+  empty" inside a single fancy-indexed assignment.
+
+The Block-shell protocol still works unchanged (path reads materialise
+shells from the columns, path writes decompose them again), so the stack
+stays bit-identical to the list-backed flat storage whether the column
+engine is active or not — the differential property tests enforce it.
+The tree's bulk state is numeric and compact: a 4 GB-class tree's metadata
+fits in three ndarrays instead of millions of Python objects, which is
+what the design-space sweeps at the paper's full scale need.
 
 This module must only be imported when NumPy is available;
 :mod:`repro.backends` guards the import and simply does not register the
@@ -41,21 +55,38 @@ class NumpyFlatTreeStorage(TreeStorage):
     """Column-oriented bucket store backed by NumPy slot arrays.
 
     Layout: bucket ``i`` owns slot rows ``[i*Z, (i+1)*Z)`` of the
-    ``address`` and ``leaf`` columns; ``counts[i]`` is authoritative for
-    how many leading rows hold real blocks (rows past the count are stale
-    and never read, exactly like the flat storage's count slots).
+    ``address``, ``leaf`` and ``data`` columns; ``counts[i]`` is
+    authoritative for how many leading rows hold real blocks, and rows past
+    the count are kept padded empty (see the module invariants).
     """
+
+    #: Class marker the protocol checks (without importing this module) to
+    #: decide whether the column-native execution engine can attach.
+    columnar = True
 
     def __init__(self, config: ORAMConfig) -> None:
         super().__init__(config)
         self._z = config.z
         num_buckets = config.num_buckets
+        num_rows = num_buckets * config.z
+        #: Leaf value stored in empty rows: one past the real label range,
+        #: so ``empty_leaf ^ leaf`` always has bit ``levels`` set and the
+        #: engine's classification table maps every empty row to one
+        #: dedicated out-of-range class.
+        self.empty_leaf = 1 << config.levels
         self._counts = np.zeros(num_buckets, dtype=np.int64)
-        self._addresses = np.full(num_buckets * config.z, _EMPTY, dtype=np.int64)
-        self._leaves = np.full(num_buckets * config.z, _EMPTY, dtype=np.int64)
+        # One sentinel row past the end, permanently empty (see module doc).
+        self._addresses = np.full(num_rows + 1, _EMPTY, dtype=np.int64)
+        self._leaves = np.full(num_rows + 1, self.empty_leaf, dtype=np.int64)
         # Payloads are arbitrary Python objects (None, bytes, label lists);
-        # they ride in a plain list column aligned with the slot rows.
-        self._data: list[object] = [None] * (num_buckets * config.z)
+        # they ride in an aligned *object ndarray* column so the engine can
+        # gather/scatter them with the same fancy indices as the numeric
+        # columns — but only when a real payload was ever attached.
+        self._data = np.full(num_rows + 1, None, dtype=object)
+        #: False until any non-None payload lands in the data column.  While
+        #: False the column is provably all-``None`` and the engine skips
+        #: the payload gather/scatter entirely.
+        self.has_payloads = False
         self._occupancy = 0
         # Per-leaf cache of the path's bucket indices as an ndarray plus the
         # flat slot-row base offsets (bucket * Z), for gather/scatter.
@@ -83,19 +114,30 @@ class NumpyFlatTreeStorage(TreeStorage):
 
     def write_bucket(self, bucket_index: int, blocks: list[Block]) -> None:
         count = len(blocks)
-        if count > self._z:
+        z = self._z
+        if count > z:
             raise ConfigurationError(
-                f"bucket {bucket_index} overfilled: {count} > Z={self._z}"
+                f"bucket {bucket_index} overfilled: {count} > Z={z}"
             )
-        row = bucket_index * self._z
+        row = bucket_index * z
         addresses = self._addresses
         leaves = self._leaves
         data = self._data
+        has_payloads = self.has_payloads
         for offset, block in enumerate(blocks):
             slot = row + offset
             addresses[slot] = block.address
             leaves[slot] = block.leaf
-            data[slot] = block.data
+            payload = block.data
+            data[slot] = payload
+            if payload is not None:
+                has_payloads = True
+        self.has_payloads = has_payloads
+        if count < z:
+            # Re-pad the vacated tail so the columns stay self-describing.
+            addresses[row + count : row + z] = _EMPTY
+            leaves[row + count : row + z] = self.empty_leaf
+            data[row + count : row + z] = None
         old = int(self._counts[bucket_index])
         self._counts[bucket_index] = count
         self._occupancy += count - old
@@ -152,6 +194,8 @@ class NumpyFlatTreeStorage(TreeStorage):
         addresses = self._addresses
         leaves = self._leaves
         data = self._data
+        empty_leaf = self.empty_leaf
+        has_payloads = self.has_payloads
         occupancy = self._occupancy
         for bucket_index, base, blocks in zip(
             buckets.tolist(), bases.tolist(), level_buckets
@@ -161,13 +205,25 @@ class NumpyFlatTreeStorage(TreeStorage):
                 count = len(blocks)
                 addresses[base : base + count] = [block.address for block in blocks]
                 leaves[base : base + count] = [block.leaf for block in blocks]
-                data[base : base + count] = [block.data for block in blocks]
+                # Scalar stores: a slice assignment would let NumPy coerce a
+                # list of equal-length payload lists into a 2-D array.
+                for offset, block in enumerate(blocks):
+                    payload = block.data
+                    data[base + offset] = payload
+                    if payload is not None:
+                        has_payloads = True
             elif old:
                 count = 0
             else:
                 continue
+            if count < old:
+                # Re-pad vacated rows (rows past ``old`` are already empty).
+                addresses[base + count : base + old] = _EMPTY
+                leaves[base + count : base + old] = empty_leaf
+                data[base + count : base + old] = None
             counts[bucket_index] = count
             occupancy += count - old
+        self.has_payloads = has_payloads
         self._occupancy = occupancy
 
     def write_path(self, leaf: int, assignments) -> None:
@@ -184,5 +240,5 @@ class NumpyFlatTreeStorage(TreeStorage):
     # Introspection used by tests
     # ------------------------------------------------------------------
     def column_nbytes(self) -> int:
-        """Bytes held by the numeric columns (excludes the payload list)."""
+        """Bytes held by the numeric columns (excludes the payload column)."""
         return self._counts.nbytes + self._addresses.nbytes + self._leaves.nbytes

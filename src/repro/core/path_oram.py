@@ -214,6 +214,19 @@ class PathORAM:
             and self._eviction_threshold is not None
             else None
         )
+        # Column-native execution over the NumPy slot-array storage: the
+        # engine runs whole path operations on the int64 columns without
+        # materialising Block shells.  The ``columnar`` marker only exists
+        # on NumpyFlatTreeStorage (and its subclasses), so the guarded
+        # import can never run without NumPy installed;
+        # ColumnEngine.for_oram returns None for configurations it cannot
+        # serve bit-identically (wrapper subclasses, grouped super blocks,
+        # single-leaf trees).
+        self._column_engine = None
+        if getattr(type(self._storage), "columnar", False):
+            from repro.core.numpy_engine import ColumnEngine
+
+            self._column_engine = ColumnEngine.for_oram(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -342,6 +355,13 @@ class PathORAM:
                 result_data = None
             self._write_back_classified(old_leaf, rbases, pending)
             result = AccessResult(address, result_data, found)
+        elif self._column_engine is not None:
+            result_data, found = self._column_engine.fused_single_access(
+                address, old_leaf, new_leaf,
+                op is Operation.WRITE, data, self._create_on_miss,
+                None, 0, 0, 0,
+            )
+            result = AccessResult(address, result_data, found)
         else:
             self._read_path_into_stash(old_leaf)
             block = self._stash_blocks.get(address)
@@ -425,6 +445,9 @@ class PathORAM:
         traces (the contract the differential tests pin) behaviour is
         exactly identical.
         """
+        engine = self._column_engine
+        if engine is not None:
+            return engine.access_many(addresses, op, data)
         table = self._deepest_table
         pairs = self._path_pairs
         if (
@@ -521,6 +544,22 @@ class PathORAM:
                                 by_buffer[table[blk.leaf ^ leaf]].append(blk)
                                 blk = slots[base + 2]
                                 by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 3:
+                                blk = slots[base + 1]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 3]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 4:
+                                blk = slots[base + 1]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 3]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 4]
+                                by_buffer[table[blk.leaf ^ leaf]].append(blk)
                             else:
                                 for blk in slots[base + 1 : base + 1 + count]:
                                     by_buffer[table[blk.leaf ^ leaf]].append(blk)
@@ -542,6 +581,43 @@ class PathORAM:
                                 else:
                                     by_buffer[table[blk.leaf ^ leaf]].append(blk)
                                 blk = slots[base + 2]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 3:
+                                blk = slots[base + 1]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 3]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                            elif count == 4:
+                                blk = slots[base + 1]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 2]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 3]
+                                if blk.address == address:
+                                    target = blk
+                                else:
+                                    by_buffer[table[blk.leaf ^ leaf]].append(blk)
+                                blk = slots[base + 4]
                                 if blk.address == address:
                                     target = blk
                                 else:
@@ -807,7 +883,12 @@ class PathORAM:
         self._pm_leaves[address - 1] = new_leaf
         stash = self._stash
         if self._classified_fast:
-            child_current_leaf = self._fused_single_access(
+            child_current_leaf, _ = self._fused_single_access(
+                address, current_leaf, new_leaf, True, None, False,
+                slot, child_new_leaf, labels_per_block, child_num_leaves,
+            )
+        elif self._column_engine is not None:
+            child_current_leaf, _ = self._column_engine.fused_single_access(
                 address, current_leaf, new_leaf, True, None, False,
                 slot, child_new_leaf, labels_per_block, child_num_leaves,
             )
@@ -870,14 +951,18 @@ class PathORAM:
         fused trace loop for the data-ORAM step.  Falls back to
         :meth:`access_path` when the classified fast path does not apply.
         """
-        if not self._classified_fast:
+        if self._classified_fast:
+            fused_op = self._fused_single_access
+        elif self._column_engine is not None:
+            fused_op = self._column_engine.fused_single_access
+        else:
             return self.access_path(address, current_leaf, new_leaf, op, data)
         if not 1 <= address <= self._working_set:
             raise ConfigurationError(
                 f"address {address} outside [1, {self._working_set}]"
             )
         self._pm_leaves[address - 1] = new_leaf
-        result_data, found = self._fused_single_access(
+        result_data, found = fused_op(
             address, current_leaf, new_leaf,
             op is Operation.WRITE, data, self._create_on_miss,
             None, 0, 0, 0,
@@ -997,6 +1082,8 @@ class PathORAM:
         if self._classified_fast:
             rbases, pending, _ = self._read_path_classified(leaf, None)
             self._write_back_classified(leaf, rbases, pending)
+        elif self._column_engine is not None:
+            self._column_engine.dummy_access(leaf)
         else:
             self._read_path_into_stash(leaf)
             self._write_back_path(leaf)
@@ -1214,10 +1301,13 @@ class PathORAM:
 
         Two modes share the body.  With ``slot`` set (position-map mode,
         ``is_write``/``create`` are ignored and the block always
-        materialises) the block's label vector is updated in place and the
-        displaced child leaf is returned.  With ``slot=None`` (data mode)
-        the payload is read or written per ``is_write``/``create`` and
-        ``(result_data, found)`` is returned.
+        materialises) the block's label vector is updated in place and
+        ``(displaced_child_leaf, labels)`` is returned — the label list
+        rides along so the hierarchical chain can coalesce follow-up
+        accesses to the same position-map block without re-reading the
+        path.  With ``slot=None`` (data mode) the payload is read or
+        written per ``is_write``/``create`` and ``(result_data, found)``
+        is returned.
 
         Only valid when :attr:`_classified_fast` is set; the caller has
         validated ``address`` and updated this ORAM's position map.
@@ -1257,6 +1347,22 @@ class PathORAM:
                         pools[table[blk.leaf ^ leaf]].append(blk)
                         blk = slots[base + 2]
                         pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 3:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 4:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 4]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
                     else:
                         for blk in slots[base + 1 : base + 1 + count]:
                             pools[table[blk.leaf ^ leaf]].append(blk)
@@ -1278,6 +1384,43 @@ class PathORAM:
                         else:
                             pools[table[blk.leaf ^ leaf]].append(blk)
                         blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 3:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 4:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 4]
                         if blk.address == address:
                             target = blk
                         else:
@@ -1445,7 +1588,7 @@ class PathORAM:
         stats.blocks_written += written
 
         if slot is not None:
-            return result
+            return result, labels
         return result, found
 
     def _read_path_classified(
@@ -1500,6 +1643,22 @@ class PathORAM:
                         pools[table[blk.leaf ^ leaf]].append(blk)
                         blk = slots[base + 2]
                         pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 3:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 4:
+                        blk = slots[base + 1]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 4]
+                        pools[table[blk.leaf ^ leaf]].append(blk)
                     else:
                         for blk in slots[base + 1 : base + 1 + count]:
                             pools[table[blk.leaf ^ leaf]].append(blk)
@@ -1521,6 +1680,43 @@ class PathORAM:
                         else:
                             pools[table[blk.leaf ^ leaf]].append(blk)
                         blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 3:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                    elif count == 4:
+                        blk = slots[base + 1]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 2]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 3]
+                        if blk.address == address:
+                            target = blk
+                        else:
+                            pools[table[blk.leaf ^ leaf]].append(blk)
+                        blk = slots[base + 4]
                         if blk.address == address:
                             target = blk
                         else:

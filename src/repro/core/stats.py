@@ -24,6 +24,10 @@ class AccessStats:
     path_writes: int = 0
     blocks_read: int = 0
     blocks_written: int = 0
+    #: Logical accesses served without a physical path operation because the
+    #: position-map chain coalesced them into an earlier path op on the same
+    #: block (see HierarchicalPathORAM's ``coalesce_position_ops``).
+    coalesced_ops: int = 0
     stash_occupancy_samples: list[int] = field(default_factory=list)
     record_occupancy: bool = False
 
@@ -72,6 +76,7 @@ class AccessStats:
         self.path_writes += other.path_writes
         self.blocks_read += other.blocks_read
         self.blocks_written += other.blocks_written
+        self.coalesced_ops += other.coalesced_ops
         self.stash_occupancy_samples.extend(other.stash_occupancy_samples)
 
     def reset(self) -> None:
@@ -82,4 +87,5 @@ class AccessStats:
         self.path_writes = 0
         self.blocks_read = 0
         self.blocks_written = 0
+        self.coalesced_ops = 0
         self.stash_occupancy_samples.clear()
