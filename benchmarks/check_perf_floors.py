@@ -7,16 +7,22 @@ they sit below the typical recorded ratios (so machine noise cannot break
 CI) but above the previous PR's recorded trajectory point, so a change
 that genuinely loses the trace-at-once gains fails the gate.
 
+``--diff`` additionally renders the recorded-vs-floor margins as a
+markdown table; when ``$GITHUB_STEP_SUMMARY`` is set (every GitHub
+Actions step) the table is appended there, so floor headroom is visible
+on every CI run instead of only on failure.
+
 Exit status: 0 when every recorded section clears its floor, 1 otherwise
 (also when a section with a committed floor is missing from the bench
 file).
 
 Usage::
 
-    python benchmarks/check_perf_floors.py [BENCH_FILE] [FLOORS_FILE]
+    python benchmarks/check_perf_floors.py [--diff] [BENCH_FILE] [FLOORS_FILE]
 """
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -25,34 +31,98 @@ DEFAULT_BENCH = _HERE.parent / "BENCH_engine.json"
 DEFAULT_FLOORS = _HERE / "perf_floors.json"
 
 
-def check(bench_path: Path, floors_path: Path) -> int:
-    try:
-        bench = json.loads(bench_path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"FAIL: cannot read bench file {bench_path}: {exc}")
-        return 1
+def load(bench_path: Path, floors_path: Path):
+    """Read both files; returns ``(bench, floors)`` or raises OSError/ValueError."""
+    bench = json.loads(bench_path.read_text())
     floors = json.loads(floors_path.read_text())
+    return bench, floors
 
-    status = 0
+
+def section_rows(bench: dict, floors: dict) -> list[dict]:
+    """One row per committed floor: recorded speedup, floor, margin, verdict."""
+    rows = []
     for section, floor in sorted(floors.items()):
         record = bench.get(section)
-        if not isinstance(record, dict) or "speedup" not in record:
-            print(f"FAIL: section {section!r} missing from {bench_path.name}")
+        speedup = record.get("speedup") if isinstance(record, dict) else None
+        if isinstance(speedup, (int, float)):
+            rows.append({
+                "section": section,
+                "speedup": float(speedup),
+                "floor": float(floor),
+                "margin": float(speedup) - float(floor),
+                "ok": speedup >= floor,
+            })
+        else:
+            rows.append({
+                "section": section,
+                "speedup": None,
+                "floor": float(floor),
+                "margin": None,
+                "ok": False,
+            })
+    return rows
+
+
+def markdown_table(rows: list[dict]) -> str:
+    """The ``--diff`` view: recorded-vs-floor margins as a markdown table."""
+    lines = [
+        "### Perf-floor headroom",
+        "",
+        "| Section | Recorded | Floor | Margin | Status |",
+        "| --- | ---: | ---: | ---: | :---: |",
+    ]
+    for row in rows:
+        if row["speedup"] is None:
+            lines.append(f"| `{row['section']}` | *missing* | {row['floor']:.2f}x | — | ❌ |")
+        else:
+            status = "✅" if row["ok"] else "❌"
+            lines.append(
+                f"| `{row['section']}` | {row['speedup']:.2f}x "
+                f"| {row['floor']:.2f}x | {row['margin']:+.2f}x | {status} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def check(bench_path: Path, floors_path: Path, diff: bool = False) -> int:
+    try:
+        bench, floors = load(bench_path, floors_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read bench/floors file: {exc}")
+        return 1
+
+    rows = section_rows(bench, floors)
+    status = 0
+    for row in rows:
+        if row["speedup"] is None:
+            print(f"FAIL: section {row['section']!r} missing from {bench_path.name}")
             status = 1
-            continue
-        speedup = record["speedup"]
-        verdict = "ok" if speedup >= floor else "FAIL"
-        print(f"{verdict}: {section} speedup {speedup:.2f}x (floor {floor:.2f}x)")
-        if speedup < floor:
-            status = 1
+        else:
+            verdict = "ok" if row["ok"] else "FAIL"
+            print(
+                f"{verdict}: {row['section']} speedup {row['speedup']:.2f}x "
+                f"(floor {row['floor']:.2f}x, margin {row['margin']:+.2f}x)"
+            )
+            if not row["ok"]:
+                status = 1
+
+    if diff:
+        table = markdown_table(rows)
+        print()
+        print(table, end="")
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as summary:
+                summary.write(table)
     return status
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    bench = Path(argv[0]) if len(argv) > 0 else DEFAULT_BENCH
-    floors = Path(argv[1]) if len(argv) > 1 else DEFAULT_FLOORS
-    return check(bench, floors)
+    diff = "--diff" in argv
+    positional = [arg for arg in argv if arg != "--diff"]
+    bench = Path(positional[0]) if len(positional) > 0 else DEFAULT_BENCH
+    floors = Path(positional[1]) if len(positional) > 1 else DEFAULT_FLOORS
+    return check(bench, floors, diff=diff)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,8 @@ def test_figure3_stash_occupancy_tail(benchmark):
 
     rows = []
     for threshold in THRESHOLDS:
-        rows.append([threshold] + [f"{results[z].tail_probability(threshold):.2e}" for z in Z_VALUES])
+        tail = [f"{results[z].tail_probability(threshold):.2e}" for z in Z_VALUES]
+        rows.append([threshold] + tail)
     emit(
         "Figure 3 — P(blocks in stash >= m), infinite stash "
         f"(working set {WORKING_SET_BLOCKS} blocks, 50% utilization)",

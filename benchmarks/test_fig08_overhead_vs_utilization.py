@@ -45,7 +45,8 @@ def test_figure8_overhead_vs_utilization(benchmark):
         row = [f"{utilization:.0%}"]
         for z in Z_VALUES:
             point = points[(z, utilization)]
-            row.append("n/a" if math.isinf(point.access_overhead) else f"{point.access_overhead:.0f}")
+            overhead = point.access_overhead
+            row.append("n/a" if math.isinf(overhead) else f"{overhead:.0f}")
         rows.append(row)
     emit(
         "Figure 8 — access overhead vs. utilization "

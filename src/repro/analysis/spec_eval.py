@@ -246,6 +246,141 @@ def run_oram_trace_replay(benchmark: str, configuration: Figure12Config,
     )
 
 
+@dataclass(frozen=True)
+class SuperBlockReplayResult:
+    """One (benchmark, super-block mode) ORAM-level SPEC replay."""
+
+    benchmark: str
+    mode: str
+    group_size: int
+    accesses: int
+    found: int
+    dummy_rounds: int
+    merges: int
+    splits: int
+    hits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Dynamic-merging prefetch-win rate (see
+        :class:`~repro.analysis.sweep.SuperBlockPoint.hit_ratio`)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+def run_super_block_trace_replay(benchmark: str, configuration: Figure12Config,
+                                 mode: str, num_memory_ops: int, seed: int = 0,
+                                 line_bytes: int = 128, group_size: int = 4,
+                                 window: int = 512, merge_threshold: int = 2,
+                                 split_threshold: int = 4,
+                                 oram_spec: OramSpec = FIGURE12_SPEC
+                                 ) -> SuperBlockReplayResult:
+    """Replay one benchmark at the ORAM level under one super-block mode.
+
+    The dynamic-vs-static-vs-off axis of the SPEC evaluation: the same
+    derived-seed trace as :func:`run_oram_trace_replay`, with the
+    configuration's data ORAM regrouped per ``mode`` (``off`` ungrouped,
+    ``static`` at ``group_size``, ``dynamic`` with the runtime-merging
+    policy knobs on the spec) and consumed through one fused
+    :meth:`~repro.core.hierarchical.HierarchicalPathORAM.access_many`
+    call.  Returns the replay counters plus the data ORAM's merge / split /
+    hit statistics.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    from repro.analysis.sweep import super_block_variant
+
+    hierarchy = configuration.hierarchy
+    mode_spec, data_config = super_block_variant(
+        oram_spec, hierarchy.data_oram, mode,
+        group_size=group_size, window=window,
+        merge_threshold=merge_threshold, split_threshold=split_threshold,
+    )
+    mode_hierarchy = dataclass_replace(hierarchy, data_oram=data_config)
+    trace = benchmark_trace(benchmark, num_memory_ops, seed=seed)
+    oram = build_oram(
+        full_scale_spec(mode_spec, mode_hierarchy),
+        mode_hierarchy,
+        seed=derive_seed(seed, ("spec-superblock", benchmark, mode)),
+    )
+    working_set = mode_hierarchy.data_oram.working_set_blocks
+    addresses = [
+        (record.address // line_bytes) % working_set + 1 for record in trace
+    ]
+    result = oram.access_many(addresses)
+    stats = oram.data_oram.stats
+    return SuperBlockReplayResult(
+        benchmark=benchmark,
+        mode=mode,
+        group_size=group_size,
+        accesses=result.accesses,
+        found=result.found,
+        dummy_rounds=oram.stats.dummy_accesses,
+        merges=stats.super_block_merges,
+        splits=stats.super_block_splits,
+        hits=stats.super_block_hits,
+    )
+
+
+def figure12_super_block_axis(benchmarks: list[str], num_memory_ops: int = 5_000,
+                              modes: tuple[str, ...] | None = None,
+                              functional_scale: float = 1.0 / 1024,
+                              group_size: int = 4, window: int = 512,
+                              merge_threshold: int = 2, split_threshold: int = 4,
+                              seed: int = 0,
+                              configuration: Figure12Config | None = None,
+                              executor: str = "serial",
+                              max_workers: int | None = None,
+                              progress: ProgressCallback | None = None
+                              ) -> dict[str, dict[str, SuperBlockReplayResult]]:
+    """The super-block mode axis over a set of SPEC benchmarks.
+
+    Every (benchmark, mode) replay is an independent runner experiment
+    (``executor="process"`` is bit-identical to serial), so the whole axis
+    parallelises like the Figure 12 grid it extends.
+    """
+    from repro.analysis.sweep import SUPER_BLOCK_MODES
+
+    if modes is None:
+        modes = SUPER_BLOCK_MODES
+    if configuration is None:
+        configuration = figure12_configurations(
+            functional_scale=functional_scale, seed=seed
+        )[0]
+    specs = [
+        ExperimentSpec(
+            key=("super-block-axis", benchmark, mode),
+            fn=run_super_block_trace_replay,
+            kwargs={
+                "benchmark": benchmark,
+                "configuration": configuration,
+                "mode": mode,
+                "num_memory_ops": num_memory_ops,
+                "group_size": group_size,
+                "window": window,
+                "merge_threshold": merge_threshold,
+                "split_threshold": split_threshold,
+            },
+            seed=seed,
+        )
+        for benchmark in benchmarks
+        for mode in modes
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    values = runner.run_values(specs)
+    results: dict[str, dict[str, SuperBlockReplayResult]] = {}
+    index = 0
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for mode in modes:
+            results[benchmark][mode] = values[index]
+            index += 1
+    return results
+
+
 def run_oram_trace_replay_sharded(benchmark: str, configuration: Figure12Config,
                                   num_memory_ops: int, windows: int = 4,
                                   seed: int = 0, line_bytes: int = 128,

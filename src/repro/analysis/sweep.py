@@ -292,6 +292,181 @@ def run_sweep(
     return runner.run_values(specs)
 
 
+#: The super-block sweep axis: no merging, the paper's static scheme, and
+#: the runtime merging the paper left as future work.
+SUPER_BLOCK_MODES = ("off", "static", "dynamic")
+
+
+@dataclass(frozen=True)
+class SuperBlockPoint:
+    """One (trace kind, super-block mode) point of the merging sweep."""
+
+    trace_kind: str
+    mode: str
+    group_size: int
+    accesses: int
+    dummy_ratio: float
+    merges: int
+    splits: int
+    hits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that found their block co-resident with a
+        multi-member group (the prefetch-win rate; 0 for off/static —
+        static groups are always co-resident by construction, so the
+        counter only tracks the dynamic scheme's convergence)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+def super_block_variant(
+    spec: OramSpec,
+    config: ORAMConfig,
+    mode: str,
+    group_size: int = 4,
+    window: int = 512,
+    merge_threshold: int = 2,
+    split_threshold: int = 4,
+) -> tuple[OramSpec, ORAMConfig]:
+    """The (spec, config) pair realising one super-block mode.
+
+    ``off`` clears grouping entirely, ``static`` bakes ``group_size`` into
+    the configuration (the paper's Section 3.2 scheme), and ``dynamic``
+    keeps the configuration ungrouped and turns on the runtime merging
+    policy knobs on the spec.
+    """
+    if mode == "off":
+        return (
+            spec.with_updates(dynamic_super_blocks=False),
+            config.with_updates(super_block_size=1),
+        )
+    if mode == "static":
+        return (
+            spec.with_updates(dynamic_super_blocks=False),
+            config.with_updates(super_block_size=group_size),
+        )
+    if mode == "dynamic":
+        return (
+            spec.with_updates(
+                dynamic_super_blocks=True,
+                super_block_max_size=group_size,
+                super_block_window=window,
+                super_block_merge_threshold=merge_threshold,
+                super_block_split_threshold=split_threshold,
+            ),
+            config.with_updates(super_block_size=1),
+        )
+    raise ReproError(
+        f"unknown super-block mode {mode!r}; expected one of {SUPER_BLOCK_MODES}"
+    )
+
+
+def measure_super_block_mode(
+    config: ORAMConfig,
+    mode: str,
+    num_accesses: int,
+    seed: int = 0,
+    trace_kind: str = "hotspot",
+    group_size: int = 4,
+    window: int = 512,
+    merge_threshold: int = 2,
+    split_threshold: int = 4,
+    spec: OramSpec = SWEEP_SPEC,
+    access_bytes: int = 8,
+) -> SuperBlockPoint:
+    """Replay one synthetic trace under one super-block mode.
+
+    The trace comes from the named
+    :mod:`~repro.workloads.synthetic` generator (derived-seed, so pool
+    workers regenerate it identically), folds into the ORAM's block space,
+    and replays through one fused
+    :meth:`~repro.core.path_oram.PathORAM.access_many` call.
+    """
+    from repro.workloads.synthetic import synthetic_trace
+
+    mode_spec, mode_config = super_block_variant(
+        spec, config, mode,
+        group_size=group_size, window=window,
+        merge_threshold=merge_threshold, split_threshold=split_threshold,
+    )
+    oram = build_oram(mode_spec, mode_config, rng=random.Random(seed))
+    working_set = mode_config.working_set_blocks
+    # The trace seed deliberately excludes the mode: every mode of a sweep
+    # replays the identical address stream, so mode deltas measure the
+    # policy, not trace noise.
+    trace = synthetic_trace(
+        trace_kind,
+        num_accesses,
+        working_set * access_bytes,
+        seed=derive_seed(seed, ("super-block-sweep", trace_kind)),
+    )
+    addresses = [
+        (record.address // access_bytes) % working_set + 1 for record in trace
+    ]
+    oram.access_many(addresses)
+    stats = oram.stats
+    return SuperBlockPoint(
+        trace_kind=trace_kind,
+        mode=mode,
+        group_size=group_size,
+        accesses=stats.real_accesses,
+        dummy_ratio=stats.dummy_ratio,
+        merges=stats.super_block_merges,
+        splits=stats.super_block_splits,
+        hits=stats.super_block_hits,
+    )
+
+
+def sweep_super_block_modes(
+    config: ORAMConfig,
+    num_accesses: int,
+    trace_kinds: tuple[str, ...] = ("sequential", "hotspot", "pointer_chase"),
+    modes: tuple[str, ...] = SUPER_BLOCK_MODES,
+    seed: int = 0,
+    group_size: int = 4,
+    window: int = 512,
+    merge_threshold: int = 2,
+    split_threshold: int = 4,
+    spec: OramSpec = SWEEP_SPEC,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[SuperBlockPoint]:
+    """The dynamic-vs-static-vs-off axis over a grid of synthetic traces.
+
+    Points come back in ``(trace_kind, mode)`` grid order, computed through
+    the experiment runner (``executor="process"`` is bit-identical to
+    serial — every point is an independent, self-seeded simulation built
+    from a picklable spec).
+    """
+    specs = [
+        ExperimentSpec(
+            key=("super-block", trace_kind, mode),
+            fn=measure_super_block_mode,
+            kwargs={
+                "config": config,
+                "mode": mode,
+                "num_accesses": num_accesses,
+                "trace_kind": trace_kind,
+                "group_size": group_size,
+                "window": window,
+                "merge_threshold": merge_threshold,
+                "split_threshold": split_threshold,
+                "spec": spec,
+            },
+            seed=seed,
+        )
+        for trace_kind in trace_kinds
+        for mode in modes
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    return runner.run_values(specs)
+
+
 def sweep_stash_size(
     z_values: list[int],
     stash_sizes: list[int],

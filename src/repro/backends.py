@@ -39,6 +39,7 @@ from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.hierarchical import HierarchicalPathORAM
 from repro.core.interface import ORAMMemoryInterface
 from repro.core.path_oram import PathORAM
+from repro.core.super_block import DynamicSuperBlockMapper, SuperBlockMapper
 from repro.core.tree import (
     EncryptedTreeStorage,
     FlatTreeStorage,
@@ -120,6 +121,18 @@ class OramSpec:
         spec can run its big data ORAM column-native while its small
         position-map ORAMs stay on the list engine.  0 (default) keeps
         every ORAM columnar.
+    dynamic_super_blocks:
+        Enable runtime super-block merging on the (data) ORAM: a
+        :class:`~repro.core.super_block.DynamicSuperBlockMapper` observes
+        the access stream and merges/splits adjacent-address groups at
+        runtime (the paper's Section 3.2 future work).  Requires
+        ``super_block_size=1`` in the ORAM configuration — the mapper owns
+        the grouping — and is incompatible with ``eviction="insecure"``.
+        The remaining ``super_block_*`` knobs parameterise the policy:
+        the counter window (accesses between counter halvings), the
+        per-buddy co-access count that triggers a merge, the hot-half
+        count that triggers a split once the other half decays to zero,
+        and the maximum runtime group size (a power of two).
     """
 
     protocol: str = "flat"
@@ -131,6 +144,11 @@ class OramSpec:
     livelock_limit: int = 100_000
     coalesce_position_ops: bool = False
     columnar_min_slots: int = 0
+    dynamic_super_blocks: bool = False
+    super_block_window: int = 512
+    super_block_merge_threshold: int = 2
+    super_block_split_threshold: int = 4
+    super_block_max_size: int = 4
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -163,6 +181,27 @@ class OramSpec:
                 "coalesce_position_ops batches position-map path ops; the "
                 "flat protocol has no position-map chain (use "
                 "protocol='hierarchical')"
+            )
+        if self.dynamic_super_blocks:
+            if self.eviction == "insecure":
+                raise ConfigurationError(
+                    "dynamic super-block merging does not compose with the "
+                    "insecure remap eviction scheme"
+                )
+            if self.coalesce_position_ops:
+                raise ConfigurationError(
+                    "coalesce_position_ops requires the fused chain walk, "
+                    "which needs single-member data groups; it cannot engage "
+                    "alongside dynamic_super_blocks (it would be a silent "
+                    "no-op)"
+                )
+            # Knob validation happens eagerly so a bad spec fails at
+            # construction, not inside a pool worker.
+            DynamicSuperBlockMapper(
+                max_group_size=self.super_block_max_size,
+                window=self.super_block_window,
+                merge_threshold=self.super_block_merge_threshold,
+                split_threshold=self.super_block_split_threshold,
             )
 
     def with_updates(self, **kwargs: Any) -> "OramSpec":
@@ -278,6 +317,11 @@ def full_scale_spec(
     """
     if spec.storage != "flat" or "numpy-flat" not in _STORAGE_BUILDERS:
         return spec
+    if spec.dynamic_super_blocks:
+        # The column engine declines grouped ORAMs, so routing a dynamic
+        # super-block spec onto the numpy stack would land it on the
+        # generic loop — slower than the list engine it replaced.
+        return spec
     if isinstance(config, HierarchyConfig):
         if config.data_oram.super_block_size != 1:
             return spec
@@ -316,6 +360,27 @@ def _resolve_rng(seed: int | None, rng: random.Random | None) -> random.Random:
     return random.Random(seed)
 
 
+def _super_block_mapper(
+    spec: OramSpec, config: ORAMConfig
+) -> SuperBlockMapper | None:
+    """The (data) ORAM's super-block mapper for a spec, or ``None`` for the
+    protocol's own default (the static mapper at the config's size)."""
+    if not spec.dynamic_super_blocks:
+        return None
+    if config.super_block_size != 1:
+        raise ConfigurationError(
+            "dynamic super-block merging owns the grouping; the ORAM "
+            "configuration must use super_block_size=1 (the spec's "
+            "super_block_max_size bounds runtime groups)"
+        )
+    return DynamicSuperBlockMapper(
+        max_group_size=spec.super_block_max_size,
+        window=spec.super_block_window,
+        merge_threshold=spec.super_block_merge_threshold,
+        split_threshold=spec.super_block_split_threshold,
+    )
+
+
 def build_oram(
     spec: OramSpec,
     config: ORAMConfig | HierarchyConfig,
@@ -340,6 +405,7 @@ def build_oram(
             config,
             storage=factory(config),
             eviction_policy=_eviction_policy(spec, config, rng),
+            super_block_mapper=_super_block_mapper(spec, config),
             rng=rng,
             create_on_miss=spec.create_on_miss,
             record_path_trace=spec.record_path_trace,
@@ -356,6 +422,7 @@ def build_oram(
         record_path_trace=spec.record_path_trace,
         livelock_limit=spec.livelock_limit,
         coalesce_position_ops=spec.coalesce_position_ops,
+        data_super_block_mapper=_super_block_mapper(spec, config.data_oram),
     )
 
 

@@ -35,7 +35,11 @@ from repro.core.tree import (
 from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats
-from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
+from repro.core.super_block import (
+    DynamicSuperBlockMapper,
+    StaticSuperBlockMapper,
+    SuperBlockMapper,
+)
 from repro.core.types import DUMMY_ADDRESS, Block, Operation, TraceResult
 
 __all__ = [
@@ -61,4 +65,5 @@ __all__ = [
     "InsecureBlockRemapEviction",
     "SuperBlockMapper",
     "StaticSuperBlockMapper",
+    "DynamicSuperBlockMapper",
 ]

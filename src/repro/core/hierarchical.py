@@ -31,6 +31,7 @@ from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.path_oram import PathORAM
 from repro.core.position_map import PositionMap
 from repro.core.stats import AccessStats
+from repro.core.super_block import DynamicSuperBlockMapper, SuperBlockMapper
 from repro.core.tree import TreeStorage
 from repro.core.types import AccessResult, Operation, TraceResult
 from repro.errors import ConfigurationError, ReproError, StashOverflowError
@@ -92,18 +93,28 @@ class HierarchicalPathORAM:
         record_path_trace: bool = False,
         livelock_limit: int = 100_000,
         coalesce_position_ops: bool = False,
+        data_super_block_mapper: SuperBlockMapper | None = None,
     ) -> None:
         self._hierarchy = hierarchy
         self._rng = rng if rng is not None else random.Random()
         self._configs = hierarchy.oram_configs
+        self._dynamic_data = isinstance(data_super_block_mapper, DynamicSuperBlockMapper)
+        if self._dynamic_data and hierarchy.data_oram.super_block_size != 1:
+            raise ConfigurationError(
+                "dynamic super-block merging keeps the position map at "
+                "per-address granularity; the data ORAM config must use "
+                "super_block_size=1 (the mapper's max_group_size bounds "
+                "runtime groups instead)"
+            )
         self._orams: list[PathORAM] = []
-        for config in self._configs:
+        for index, config in enumerate(self._configs):
             storage = storage_factory(config) if storage_factory is not None else None
             self._orams.append(
                 PathORAM(
                     config,
                     storage=storage,
                     eviction_policy=NoEviction(),
+                    super_block_mapper=data_super_block_mapper if index == 0 else None,
                     rng=self._rng,
                     create_on_miss=True,
                     record_path_trace=record_path_trace,
@@ -192,12 +203,27 @@ class HierarchicalPathORAM:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def access(self, address: int, op: Operation = Operation.READ, data: Any = None) -> AccessResult:
-        """One full hierarchical access (``accessHORAM`` in Section 2.3)."""
+    def access(
+        self, address: int, op: Operation = Operation.READ, data: Any = None
+    ) -> AccessResult:
+        """One full hierarchical access (``accessHORAM`` in Section 2.3).
+
+        With a dynamic super-block mapper on the data ORAM, the chain walk
+        is performed exactly as usual (same position-map ORAM accesses,
+        same fresh-leaf install), but the data ORAM's per-address mirror is
+        authoritative for where the block truly is — the chain's stored
+        label can be stale for members a merge retargeted while they sat in
+        the stash; see :meth:`PathORAM.access_dynamic_path`.
+        """
         current_leaf = self._resolve_position_chain(address)
-        result = self._orams[0].access_path(
-            address, current_leaf, self._pending_data_leaf, op, data
-        )
+        if self._dynamic_data:
+            result = self._orams[0].access_dynamic_path(
+                address, self._pending_data_leaf, op, data
+            )
+        else:
+            result = self._orams[0].access_path(
+                address, current_leaf, self._pending_data_leaf, op, data
+            )
         self._stats.real_accesses += 1
         result.dummy_accesses = self._run_background_eviction()
         return result
@@ -278,11 +304,20 @@ class HierarchicalPathORAM:
         else:
             coalesce = False
             pm_access = [oram.access_position_block for oram in orams]
-            data_access = (
-                data_oram.access_fixed_leaf
-                if data_oram._single_member_groups  # noqa: SLF001
-                else data_oram.access_path
-            )
+            if self._dynamic_data:
+                dynamic_access = data_oram.access_dynamic_path
+
+                def data_access(address, current_leaf, new_leaf, op, data):
+                    # The chain-read leaf is advisory under dynamic merging
+                    # (the data ORAM's per-address mirror is authoritative).
+                    return dynamic_access(address, new_leaf, op, data)
+
+            else:
+                data_access = (
+                    data_oram.access_fixed_leaf
+                    if data_oram._single_member_groups  # noqa: SLF001
+                    else data_oram.access_path
+                )
         # (threshold, stash dict) pairs: the per-access check is a len()
         # per thresholded ORAM, with no property or method hops.
         thresholded = tuple(
@@ -421,6 +456,11 @@ class HierarchicalPathORAM:
     def extract(self, address: int) -> dict[int, Any]:
         """Exclusive-ORAM fetch: remove the block's super-block group from
         the data ORAM (position-map ORAMs are traversed normally)."""
+        if self._dynamic_data:
+            raise ConfigurationError(
+                "the exclusive-ORAM interface with dynamic super blocks is "
+                "only supported on the flat protocol so far (ROADMAP)"
+            )
         current_leaf = self._resolve_position_chain(address)
         extracted = self._orams[0].extract_path(address, current_leaf, self._pending_data_leaf)
         self._stats.real_accesses += 1

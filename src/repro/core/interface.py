@@ -59,10 +59,14 @@ class ORAMMemoryInterface:
 
     @property
     def super_block_size(self) -> int:
-        """Blocks returned per fetch when super blocks are enabled."""
+        """Blocks returned per fetch when super blocks are enabled.
+
+        Reads the (data) ORAM's mapper, so a dynamic mapper reports its
+        maximum runtime group size rather than the config's static 1.
+        """
         if isinstance(self._oram, HierarchicalPathORAM):
-            return self._oram.data_oram.config.super_block_size
-        return self._oram.config.super_block_size
+            return self._oram.data_oram.super_block_mapper.group_size
+        return self._oram.super_block_mapper.group_size
 
     def fetch(self, address: int) -> dict[int, Any]:
         """Fetch the line at ``address`` (plus super-block siblings).

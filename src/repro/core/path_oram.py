@@ -30,7 +30,11 @@ from repro.core.config import ORAMConfig
 from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats
-from repro.core.super_block import StaticSuperBlockMapper, SuperBlockMapper
+from repro.core.super_block import (
+    DynamicSuperBlockMapper,
+    StaticSuperBlockMapper,
+    SuperBlockMapper,
+)
 from repro.core.tree import FlatTreeStorage, TreeStorage
 from repro.core.types import AccessResult, Block, Operation, TraceResult
 from repro.errors import ConfigurationError, StashOverflowError
@@ -170,6 +174,10 @@ class PathORAM:
             else StaticSuperBlockMapper(config.super_block_size)
         )
         self._single_member_groups = self._mapper.group_size == 1
+        # Dynamic super-block merging: the mapper keeps the position map at
+        # per-address granularity and drives runtime merge/split decisions;
+        # accesses route through the dedicated _access_dynamic path.
+        self._dynamic = isinstance(self._mapper, DynamicSuperBlockMapper)
         self._group_of = self._mapper.group_of
         num_groups = self._mapper.num_groups(config.working_set_blocks)
         self._position_map = PositionMap(num_groups, config.num_leaves, rng=self._rng)
@@ -311,6 +319,8 @@ class PathORAM:
         super-block group to a fresh random leaf, writes the path back, and
         finally lets the background-eviction policy issue dummy accesses.
         """
+        if self._dynamic:
+            return self._access_dynamic(address, op, data)
         if not 1 <= address <= self._working_set:
             raise ConfigurationError(
                 f"address {address} outside [1, {self._working_set}]"
@@ -472,7 +482,6 @@ class PathORAM:
         by_stash = self._by_deepest_stash
         by_buffer = self._by_deepest_buffer
         by_buffer_rev = self._by_buffer_rev
-        by_stash_rev = self._by_stash_rev
         caps = self._class_cap
         z = self._z
         pool = self._block_pool
@@ -827,6 +836,152 @@ class PathORAM:
             dummy_total += result.dummy_accesses
         return TraceResult(accesses=real, found=found_count, dummy_accesses=dummy_total)
 
+    # ------------------------------------------------------------------
+    # Dynamic super-block merging (Section 3.2's future work)
+    # ------------------------------------------------------------------
+    def _dynamic_path_op(
+        self,
+        address: int,
+        op: Operation,
+        data: Any,
+        fresh_leaf: int | None,
+    ) -> AccessResult:
+        """One dynamic-super-block path operation (read to write-back).
+
+        The shared body behind :meth:`_access_dynamic` (flat protocol) and
+        :meth:`access_dynamic_path` (recursive construction).  Exactly one
+        path is read and written, like every other access.  The mapper's
+        :meth:`~repro.core.super_block.DynamicSuperBlockMapper.plan_access`
+        applies any due merge/split and names the span and target leaf; the
+        reachable span members — the stash's ``current_leaf`` bucket, moved
+        by one :meth:`~repro.core.stash.Stash.retarget_range_collect`
+        split, plus the pending path buffer — follow in one batch, and
+        their per-address position-map entries move with them, so a member
+        left behind (not in the stash, not on this path) keeps its own
+        entry and simply joins the group on its own next access.
+
+        ``fresh_leaf`` is the pre-drawn uniformly random leaf supplied by
+        the recursive chain walk (``None`` on the flat protocol, which
+        draws lazily — only when the plan calls for a fresh leaf).
+        """
+        if not 1 <= address <= self._working_set:
+            raise ConfigurationError(
+                f"address {address} outside [1, {self._working_set}]"
+            )
+        leaves = self._pm_leaves
+        old_leaf = leaves[address - 1]
+        mapper = self._mapper
+        plan = mapper.plan_access(address, old_leaf, leaves)
+        if plan.target_leaf is not None:
+            new_leaf = plan.target_leaf
+        elif fresh_leaf is not None:
+            new_leaf = fresh_leaf
+        else:
+            bits = self._draw_bits
+            new_leaf = self._getrandbits(bits) if bits else self._random_leaf()
+        if plan.target_leaf is None:
+            mapper.set_anchor(plan.lo, new_leaf)
+
+        self._read_path_into_stash(old_leaf)
+        block = self._stash_blocks.get(address)
+        buffer = self._path_buffer
+        if block is None:
+            for position, candidate in enumerate(buffer):
+                if candidate.address == address:
+                    # Accessed block classifies last in its class pool: the
+                    # same tie-break as the other protocol paths.
+                    block = candidate
+                    del buffer[position]
+                    buffer.append(candidate)
+                    break
+        found = block is not None
+        if block is None and (op is Operation.WRITE or self._create_on_miss):
+            pool = self._block_pool
+            if pool:
+                block = pool.pop()
+                block.address = address
+                block.leaf = new_leaf
+                block.data = None
+            else:
+                block = Block(address=address, leaf=new_leaf, data=None)
+            self._stash.add(block)
+        if block is not None and op is Operation.WRITE:
+            block.data = data
+
+        # Batched group move: one leaf-bucket split for the stash-resident
+        # cohort, one scan of the pending path buffer — and every moved
+        # member's position-map entry follows, which is what lets members
+        # *not* moved here retarget lazily on their own next access.
+        lo, hi = plan.lo, plan.hi
+        if new_leaf != old_leaf:
+            for moved in self._stash.retarget_range_collect(old_leaf, lo, hi, new_leaf):
+                leaves[moved.address - 1] = new_leaf
+            for candidate in buffer:
+                candidate_address = candidate.address
+                if lo <= candidate_address < hi:
+                    # Covers stragglers that happen to lie on a shared
+                    # bucket of this path as well: anything in hand joins
+                    # the cohort now instead of on its own next access.
+                    candidate.leaf = new_leaf
+                    leaves[candidate_address - 1] = new_leaf
+        leaves[address - 1] = new_leaf
+
+        result_data = block.data if block is not None else None
+        self._write_back_path(old_leaf)
+        stats = self._stats
+        if plan.merged:
+            stats.super_block_merges += 1
+        if plan.split:
+            stats.super_block_splits += 1
+        if plan.hit:
+            stats.super_block_hits += 1
+        return AccessResult(address, result_data, found)
+
+    def _access_dynamic(
+        self, address: int, op: Operation, data: Any
+    ) -> AccessResult:
+        """:meth:`access` for a dynamic super-block mapper."""
+        result = self._dynamic_path_op(address, op, data, None)
+        stats = self._stats
+        stats.real_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
+        gate = self._eviction_gate
+        if gate is not None and len(self._stash_blocks) <= gate:
+            dummy_count = 0
+        else:
+            dummy_count = self._eviction.after_access(self)
+            self._check_stash_bound()
+        result.dummy_accesses = dummy_count
+        return result
+
+    def access_dynamic_path(
+        self,
+        address: int,
+        fresh_leaf: int,
+        op: Operation = Operation.READ,
+        data: Any = None,
+    ) -> AccessResult:
+        """The recursive construction's data-ORAM step under dynamic merging.
+
+        The chain walk has already performed its position-map ORAM accesses
+        and installed ``fresh_leaf`` for ``address``; this ORAM's own
+        per-address position map is the authoritative mirror of where each
+        block truly is (architecturally: a small on-chip override table for
+        members whose position-map ORAM entry is stale — every entry
+        self-clears on the member's next access, when the chain installs
+        the leaf actually used).  The path read therefore follows the
+        mirror, and ``fresh_leaf`` is used only when the plan calls for a
+        fresh uniformly random leaf.
+        """
+        result = self._dynamic_path_op(address, op, data, fresh_leaf)
+        stats = self._stats
+        stats.real_accesses += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
+        result.dummy_accesses = 0
+        return result
+
     def access_path(
         self,
         address: int,
@@ -843,6 +998,11 @@ class PathORAM:
         ``mutate``, when given, is a callable applied to the block's payload
         while the block sits in the stash (read-modify-write).
         """
+        if self._dynamic:
+            raise ConfigurationError(
+                "dynamic super-block merging routes externally-leafed "
+                "accesses through access_dynamic_path"
+            )
         self._check_address(address)
         group = self._mapper.group_of(address)
         self._position_map.assign(group, new_leaf)
@@ -951,6 +1111,11 @@ class PathORAM:
         fused trace loop for the data-ORAM step.  Falls back to
         :meth:`access_path` when the classified fast path does not apply.
         """
+        if self._dynamic:
+            raise ConfigurationError(
+                "dynamic super-block merging routes externally-leafed "
+                "accesses through access_dynamic_path"
+            )
         if self._classified_fast:
             fused_op = self._fused_single_access
         elif self._column_engine is not None:
@@ -980,6 +1145,11 @@ class PathORAM:
         caller (the hierarchical ORAM's position-map chain) instead of this
         ORAM's own position map.
         """
+        if self._dynamic:
+            raise ConfigurationError(
+                "the exclusive-ORAM interface with dynamic super blocks is "
+                "only supported on the flat protocol (see extract)"
+            )
         self._check_address(address)
         group = self._mapper.group_of(address)
         self._position_map.assign(group, new_leaf)
@@ -1099,6 +1269,11 @@ class PathORAM:
         correlates consecutive accesses and leaks (Section 3.1.3).  Counted
         as a dummy access in the statistics.
         """
+        if self._dynamic:
+            raise ConfigurationError(
+                "insecure remap eviction does not compose with dynamic "
+                "super-block merging (per-address entries would go stale)"
+            )
         group = self._mapper.group_of(address)
         old_leaf = self._position_map.lookup(group)
         new_leaf = self._random_leaf()
@@ -1120,6 +1295,8 @@ class PathORAM:
         eviction) share a fresh path.  Background eviction runs afterwards.
         """
         self._check_address(address)
+        if self._dynamic:
+            return self._extract_dynamic(address)
         group = self._mapper.group_of(address)
         old_leaf = self._position_map.lookup(group)
         new_leaf = self._random_leaf()
@@ -1132,6 +1309,65 @@ class PathORAM:
         self._eviction.after_access(self)
         self._check_stash_bound()
         return extracted
+
+    def _extract_dynamic(self, address: int) -> dict[int, Any]:
+        """Exclusive-ORAM extraction under dynamic super-block merging.
+
+        Observes the access like any other (so cache-miss streams drive the
+        merge/split policy too), reads the accessed member's own path, and
+        removes the *reachable* part of the group — the ``current_leaf``
+        stash bucket via one :meth:`~repro.core.stash.Stash.pop_range`
+        split plus a pass over the pending path buffer.  Members still
+        converging elsewhere stay in the ORAM under their own position-map
+        entries (they are only ever reported when actually extracted, never
+        fabricated, since their blocks still live on other paths); the
+        extracted members' entries move to the group's next leaf so a later
+        :meth:`insert` lands them co-resident again.
+        """
+        leaves = self._pm_leaves
+        old_leaf = leaves[address - 1]
+        plan = self._mapper.plan_access(address, old_leaf, leaves)
+        if plan.target_leaf is not None:
+            new_leaf = plan.target_leaf
+        else:
+            new_leaf = self._random_leaf()
+            self._mapper.set_anchor(plan.lo, new_leaf)
+        self._read_path_into_stash(old_leaf)
+        lo, hi = plan.lo, plan.hi
+        found: dict[int, Any] = {}
+        for block in self._stash.pop_range(old_leaf, lo, hi):
+            found[block.address] = block.data
+            self._recycle_block(block)
+        buffer = self._path_buffer
+        kept: list[Block] = []
+        keep = kept.append
+        for candidate in buffer:
+            if lo <= candidate.address < hi:
+                found[candidate.address] = candidate.data
+                self._recycle_block(candidate)
+            else:
+                keep(candidate)
+        if len(kept) != len(buffer):
+            self._path_buffer = kept
+        for member in found:
+            leaves[member - 1] = new_leaf
+        leaves[address - 1] = new_leaf
+        if address not in found and self._create_on_miss:
+            found[address] = None
+        self._write_back_path(old_leaf)
+        stats = self._stats
+        stats.real_accesses += 1
+        if plan.merged:
+            stats.super_block_merges += 1
+        if plan.split:
+            stats.super_block_splits += 1
+        if plan.hit:
+            stats.super_block_hits += 1
+        if stats.record_occupancy:
+            stats.stash_occupancy_samples.append(len(self._stash_blocks))
+        self._eviction.after_access(self)
+        self._check_stash_bound()
+        return found
 
     def insert(self, address: int, data: Any = None) -> int:
         """Put a block back into the ORAM stash without a path access

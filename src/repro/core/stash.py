@@ -148,22 +148,32 @@ class Stash:
         share the group's leaf, so one pass over that leaf's bucket moves the
         whole group.  Returns the number of blocks moved.
         """
+        return len(self.retarget_range_collect(leaf, lo, hi, new_leaf))
+
+    def retarget_range_collect(
+        self, leaf: int, lo: int, hi: int, new_leaf: int
+    ) -> list[Block]:
+        """Like :meth:`retarget_range`, but returns the moved blocks.
+
+        The dynamic super-block protocol needs the identities of the moved
+        members (their per-address position-map entries must follow), so the
+        one-bucket-split retarget also collects what it moved.
+        """
         if leaf == new_leaf:
-            return 0
+            return []
         bucket = self._by_leaf.get(leaf)
         if bucket is None:
-            return 0
-        staying = [block for block in bucket if not lo <= block.address < hi]
-        moved = len(bucket) - len(staying)
+            return []
+        moved = [block for block in bucket if lo <= block.address < hi]
         if not moved:
-            return 0
+            return []
+        staying = [block for block in bucket if not lo <= block.address < hi]
         target = self._by_leaf.get(new_leaf)
         if target is None:
             target = self._by_leaf[new_leaf] = []
-        for block in bucket:
-            if lo <= block.address < hi:
-                block.leaf = new_leaf
-                target.append(block)
+        for block in moved:
+            block.leaf = new_leaf
+            target.append(block)
         if staying:
             self._by_leaf[leaf] = staying
         else:

@@ -28,6 +28,14 @@ class AccessStats:
     #: position-map chain coalesced them into an earlier path op on the same
     #: block (see HierarchicalPathORAM's ``coalesce_position_ops``).
     coalesced_ops: int = 0
+    #: Dynamic super-block events (see
+    #: :class:`~repro.core.super_block.DynamicSuperBlockMapper`): groups
+    #: merged with their buddy, groups split back into halves, and accesses
+    #: that found their block co-resident with a multi-member group (the
+    #: accesses whose path op carried the whole group — the prefetch wins).
+    super_block_merges: int = 0
+    super_block_splits: int = 0
+    super_block_hits: int = 0
     stash_occupancy_samples: list[int] = field(default_factory=list)
     record_occupancy: bool = False
 
@@ -77,6 +85,9 @@ class AccessStats:
         self.blocks_read += other.blocks_read
         self.blocks_written += other.blocks_written
         self.coalesced_ops += other.coalesced_ops
+        self.super_block_merges += other.super_block_merges
+        self.super_block_splits += other.super_block_splits
+        self.super_block_hits += other.super_block_hits
         self.stash_occupancy_samples.extend(other.stash_occupancy_samples)
 
     def reset(self) -> None:
@@ -88,4 +99,7 @@ class AccessStats:
         self.blocks_read = 0
         self.blocks_written = 0
         self.coalesced_ops = 0
+        self.super_block_merges = 0
+        self.super_block_splits = 0
+        self.super_block_hits = 0
         self.stash_occupancy_samples.clear()

@@ -145,10 +145,11 @@ class AES128:
     def _inv_mix_columns(state: list[int]) -> None:
         for c in range(4):
             col = state[4 * c : 4 * c + 4]
-            state[4 * c + 0] = _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
-            state[4 * c + 1] = _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
-            state[4 * c + 2] = _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
-            state[4 * c + 3] = _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+            a, b, d, e = col
+            state[4 * c + 0] = _gmul(a, 14) ^ _gmul(b, 11) ^ _gmul(d, 13) ^ _gmul(e, 9)
+            state[4 * c + 1] = _gmul(a, 9) ^ _gmul(b, 14) ^ _gmul(d, 11) ^ _gmul(e, 13)
+            state[4 * c + 2] = _gmul(a, 13) ^ _gmul(b, 9) ^ _gmul(d, 14) ^ _gmul(e, 11)
+            state[4 * c + 3] = _gmul(a, 11) ^ _gmul(b, 13) ^ _gmul(d, 9) ^ _gmul(e, 14)
 
     def encrypt_block(self, plaintext: bytes) -> bytes:
         """Encrypt a single 16-byte block."""

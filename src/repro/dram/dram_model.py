@@ -85,7 +85,9 @@ class DRAMModel:
     # ------------------------------------------------------------------
     # Transaction processing
     # ------------------------------------------------------------------
-    def enqueue(self, location: DRAMLocation, is_write: bool = False, not_before: float = 0.0) -> float:
+    def enqueue(
+        self, location: DRAMLocation, is_write: bool = False, not_before: float = 0.0
+    ) -> float:
         """Issue one burst transaction; returns its data completion cycle.
 
         Column commands to an open row pipeline at ``tBURST`` (= tCCD)

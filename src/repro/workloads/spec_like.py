@@ -153,7 +153,8 @@ def generate_benchmark_trace(
         raise ConfigurationError("num_memory_ops must be >= 1")
     records: list[TraceRecord] = []
     working_slots = profile.working_set_bytes // profile.access_bytes
-    hot_slots = max(1, min(profile.hot_set_bytes, profile.working_set_bytes) // profile.access_bytes)
+    hot_bytes = min(profile.hot_set_bytes, profile.working_set_bytes)
+    hot_slots = max(1, hot_bytes // profile.access_bytes)
     run_remaining = 0
     cursor = rng.randrange(working_slots)
     continue_probability = 1.0 - 1.0 / profile.sequential_run_mean

@@ -1,6 +1,5 @@
 """Analysis-driver tests (scaled-down versions of the evaluation sweeps)."""
 
-import math
 
 import pytest
 

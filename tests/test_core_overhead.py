@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.config import ORAMConfig
 from repro.core.overhead import (
     bytes_moved_per_access,
     hierarchy_measured_access_overhead,

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.bucket_codec import BucketCodec
-from repro.core.config import ORAMConfig
 from repro.core.position_map import PositionMap
 from repro.core.stash import Stash
 from repro.core.stats import AccessStats

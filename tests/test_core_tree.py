@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.config import ORAMConfig
 from repro.core.path_oram import leaf_common_path_length
 from repro.core.tree import (
     EncryptedTreeStorage,

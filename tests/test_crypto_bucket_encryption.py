@@ -108,8 +108,10 @@ class TestSizeFormulas:
         assert saving == z * 128 - 64
 
     def test_class_formulas_match_module_functions(self):
-        assert CounterBucketCipher.bucket_bits(3, 20, 22, 256) == counter_bucket_bits(3, 20, 22, 256)
-        assert StrawmanBucketCipher.bucket_bits(3, 20, 22, 256) == strawman_bucket_bits(3, 20, 22, 256)
+        expected_counter = counter_bucket_bits(3, 20, 22, 256)
+        assert CounterBucketCipher.bucket_bits(3, 20, 22, 256) == expected_counter
+        expected_strawman = strawman_bucket_bits(3, 20, 22, 256)
+        assert StrawmanBucketCipher.bucket_bits(3, 20, 22, 256) == expected_strawman
 
 
 class TestProcessorKey:

@@ -141,7 +141,8 @@ class TestORAMDRAMSimulator:
         return_cpu, finish_cpu = result.cpu_cycles(hierarchy.num_orams,
                                                    cpu_per_dram_cycle=4,
                                                    decryption_latency_cycles=100)
-        assert return_cpu == pytest.approx(result.return_data_cycles * 4 + hierarchy.num_orams * 100)
+        expected = result.return_data_cycles * 4 + hierarchy.num_orams * 100
+        assert return_cpu == pytest.approx(expected)
         assert finish_cpu > return_cpu
 
     def test_placements_do_not_overlap_between_orams(self):

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.hierarchical import HierarchicalPathORAM

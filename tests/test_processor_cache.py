@@ -80,8 +80,12 @@ class TestSetAssociativeCache:
 
 class TestCacheHierarchy:
     def _hierarchy(self):
-        l1 = CacheConfig(size_bytes=2 * 128 * 2, ways=2, line_bytes=128, hit_cycles=2, miss_cycles=1)
-        l2 = CacheConfig(size_bytes=4 * 128 * 4, ways=4, line_bytes=128, hit_cycles=10, miss_cycles=4)
+        l1 = CacheConfig(
+            size_bytes=2 * 128 * 2, ways=2, line_bytes=128, hit_cycles=2, miss_cycles=1
+        )
+        l2 = CacheConfig(
+            size_bytes=4 * 128 * 4, ways=4, line_bytes=128, hit_cycles=10, miss_cycles=4
+        )
         return CacheHierarchy(l1, l2)
 
     def test_first_access_misses_to_memory(self):

@@ -7,7 +7,6 @@ import pytest
 from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.hierarchical import HierarchicalPathORAM
 from repro.core.interface import ORAMMemoryInterface
-from repro.core.path_oram import PathORAM
 from repro.dram.config import DRAMConfig
 from repro.errors import TraceFormatError
 from repro.processor.config import table1_processor
