@@ -35,9 +35,7 @@ def record_bench(section: str, record: dict) -> None:
             loaded = json.loads(BENCH_FILE.read_text())
         except json.JSONDecodeError:
             loaded = None
-        if isinstance(loaded, dict) and all(
-            isinstance(value, dict) for value in loaded.values()
-        ):
+        if isinstance(loaded, dict) and all(isinstance(value, dict) for value in loaded.values()):
             data = loaded
     data[section] = record
     BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
@@ -70,11 +68,12 @@ def bench_executor() -> str:
     boxes where pool overhead cannot pay for itself.
     """
     executor = os.environ.get("REPRO_BENCH_EXECUTOR", "")
-    if executor in ("serial", "process"):
+    if executor in ("serial", "process", "fleet"):
         return executor
     if executor:
         raise ValueError(
-            f"REPRO_BENCH_EXECUTOR must be 'serial' or 'process', got {executor!r}"
+            "REPRO_BENCH_EXECUTOR must be 'serial', 'process', or 'fleet', "
+            f"got {executor!r}"
         )
     return "process" if (os.cpu_count() or 1) > 1 else "serial"
 

@@ -208,6 +208,28 @@ class OramSpec:
         """Copy of this spec with the given fields replaced."""
         return replace(self, **kwargs)
 
+    @property
+    def fleet_eligible(self) -> bool:
+        """Whether the fleet executor may batch ORAMs of this spec.
+
+        The batched tensor engine (:mod:`repro.core.numpy_fleet`) drives a
+        single flat Path ORAM on plain (unencrypted) columns; it mirrors
+        the column engine's single-member fast path, so dynamic super-block
+        grouping and path-trace recording — both of which need the scalar
+        per-access machinery — disqualify a spec.  ``"flat"`` storage
+        counts as eligible because the fleet adapters re-route it onto the
+        bit-identical ``numpy-flat`` columns (the same substitution
+        :func:`full_scale_spec` performs).  Eligibility is necessary, not
+        sufficient: the adapter additionally checks the configuration
+        (tree shape limits, single-member groups) per point.
+        """
+        return (
+            self.protocol == "flat"
+            and self.storage in ("flat", "numpy-flat")
+            and not self.dynamic_super_blocks
+            and not self.record_path_trace
+        )
+
 
 # ----------------------------------------------------------------------
 # Built-in storage stacks

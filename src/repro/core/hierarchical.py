@@ -455,14 +455,25 @@ class HierarchicalPathORAM:
 
     def extract(self, address: int) -> dict[int, Any]:
         """Exclusive-ORAM fetch: remove the block's super-block group from
-        the data ORAM (position-map ORAMs are traversed normally)."""
-        if self._dynamic_data:
-            raise ConfigurationError(
-                "the exclusive-ORAM interface with dynamic super blocks is "
-                "only supported on the flat protocol so far (ROADMAP)"
-            )
+        the data ORAM (position-map ORAMs are traversed normally).
+
+        Under dynamic super-block merging the position-map chain is walked
+        for its access pattern exactly as usual, but the data ORAM's own
+        per-address mirror decides which path holds each member (chain
+        labels go stale when the merge policy regroups addresses), so the
+        extraction routes through
+        :meth:`PathORAM.extract_dynamic_path`, with the chain's fresh data
+        leaf used only when the merge plan wants a fresh draw.
+        """
         current_leaf = self._resolve_position_chain(address)
-        extracted = self._orams[0].extract_path(address, current_leaf, self._pending_data_leaf)
+        if self._dynamic_data:
+            extracted = self._orams[0].extract_dynamic_path(
+                address, self._pending_data_leaf
+            )
+        else:
+            extracted = self._orams[0].extract_path(
+                address, current_leaf, self._pending_data_leaf
+            )
         self._stats.real_accesses += 1
         self._run_background_eviction()
         return extracted

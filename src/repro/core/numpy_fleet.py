@@ -1,0 +1,787 @@
+"""Fleet execution: N independent ORAM instances batched into one tensor.
+
+The design-space sweeps are grids of *independent* simulations — dozens of
+``(Z, utilization)`` points, each a full Path ORAM replaying its own access
+trace.  :class:`FleetEngine` runs a whole grid at once by stacking every
+instance's ``numpy-flat`` occupancy/address/leaf columns as rows of one
+``(n_experiments, slots)`` int64 tensor (via
+:meth:`~repro.core.numpy_tree.NumpyFlatTreeStorage.adopt_columns`) and
+executing one access *per instance per step* as batched tensor ops:
+
+* one shared deepest-level classification table serves every instance of
+  the batch (members must agree on ``(levels, Z)``, the grouping key the
+  runner's fleet executor partitions by);
+* the per-step path gather is one fancy index over the flat tensor — the
+  per-leaf row grids are rebuilt vectorially from the heap parent walk
+  (matching :func:`~repro.core.tree.path_indices` exactly) and offset by
+  each member's row base, with the storage's empty-sentinel row expressing
+  "empty slot" just like the scalar :class:`~repro.core.numpy_engine.ColumnEngine`;
+* classification, the stable class argsort, per-row pool counts (one
+  flattened ``bincount``) and the accessed-block locate all run across the
+  batch at once;
+* the greedy write-back runs *in closed form* for any pool sizes: the
+  scalar engine's LIFO span-stack placement consumes every class pool
+  tail-first, so its per-level takes and per-class consumption unroll
+  into running/windowed minima over pool prefix/suffix sums (derivation
+  in ``_step_batch``), and the whole write-back becomes a handful of
+  cumulative ops plus one scatter of run-length-expanded source runs.
+
+Accesses outside that envelope — non-empty stash, stash spills, a miss
+with no room on the path, payload-carrying trees, path-trace recording —
+are executed one at a time
+through the member's own scalar :class:`ColumnEngine` ``_path_op``, whose
+semantics are the pinned reference.  Either way every member's stash, RNG
+and position map stay authoritative Python state, advanced in exactly the
+per-access order of the serial ``access_many`` loop, so fleet execution is
+**bit-identical to serial execution** member by member (pinned by
+``tests/test_fleet.py``).  The only non-mirrored internal is the protocol's
+``Block``-shell recycling pool: the fast path never materialises shells, so
+pool residency can differ — no observable state (columns, stash contents,
+statistics, RNG stream, results) depends on it.
+
+Statistics counters for fast-path accesses accumulate per member and are
+flushed into ``AccessStats`` before the member's program observes them (at
+every chunk boundary, error and retirement), keeping the counters exact at
+every point where serial code could read them.
+
+Members advance through *programs*: generators yielding chunks of
+addresses (read accesses, as the sweep drivers issue).  Between chunks a
+program may inspect its ORAM (abort checks, ``stats.reset()``) exactly as
+the serial driver does between ``access_many`` calls.  A ``ReproError``
+raised by the simulation (eviction livelock, stash overflow) is thrown
+*into* the generator at the current yield: programs that catch it turn it
+into an abort reason (as ``measure_dummy_ratio_window`` does), programs
+that do not leave the member failed with a formatted traceback — the same
+two outcomes serial execution produces.  A generator's return value is the
+abort reason handed to ``finalize(oram, abort_reason)``, which computes the
+member's result value.  Members retire from the batch as their programs
+finish; the batch shrinks until every member is done.
+
+This module imports NumPy at module level;
+:mod:`repro.runner.fleet` imports it lazily and falls back to the
+serial/process executors when NumPy is unavailable.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.core.background_eviction import NoEviction
+from repro.core.numpy_engine import ColumnEngine
+from repro.core.numpy_tree import NumpyFlatTreeStorage
+from repro.errors import ConfigurationError, ReproError
+from repro.runner.fleet import FLEET_MAX_LEVELS
+
+#: Column value marking an empty slot (mirrors ``numpy_tree._EMPTY``).
+_EMPTY = -1
+
+
+def _format_exc() -> str:
+    return traceback.format_exc(limit=8)
+
+
+class FleetMember:
+    """One ORAM instance riding in a fleet batch.
+
+    Wraps a freshly built ``numpy-flat`` PathORAM, the generator *program*
+    driving its accesses, and the ``finalize(oram, abort_reason)`` callable
+    producing its result value.  The member caches the protocol's hot
+    attributes exactly as the serial ``access_many`` loop does, so the
+    per-access bookkeeping mirrors the reference loop statement for
+    statement.  Outcome fields (``value`` / ``error`` / ``seconds``) are
+    filled when the member retires.
+    """
+
+    __slots__ = (
+        "key",
+        "oram",
+        "engine",
+        "gen",
+        "finalize",
+        "chunk",
+        "pos",
+        "slot",
+        "pm",
+        "bits",
+        "getrandbits",
+        "stash_blocks",
+        "stash_obj",
+        "stats",
+        "storage",
+        "working_set",
+        "create",
+        "gate",
+        "no_eviction",
+        "bounded",
+        "check_bound",
+        "after_access",
+        "evict_skip",
+        "record_occupancy",
+        "scalar_only",
+        "row_base",
+        "bucket_base",
+        "acc_real",
+        "acc_ops",
+        "acc_blocks_read",
+        "acc_blocks_written",
+        "acc_occ",
+        "acc_peak",
+        "value",
+        "error",
+        "seconds",
+        "retired",
+    )
+
+    def __init__(
+        self,
+        key: Any,
+        oram: Any,
+        program: Iterator[list[int]],
+        finalize: Callable[[Any, str | None], Any],
+    ) -> None:
+        self.key = key
+        self.oram = oram
+        self.gen = program
+        self.finalize = finalize
+        self.engine: ColumnEngine | None = None
+        self.chunk: list[int] = []
+        self.pos = 0
+        # Hot protocol state, cached like the serial access_many loop.
+        self.pm = oram._pm_leaves  # noqa: SLF001
+        self.bits = oram._draw_bits  # noqa: SLF001
+        self.getrandbits = oram._getrandbits  # noqa: SLF001
+        self.stash_blocks = oram._stash_blocks  # noqa: SLF001
+        self.stash_obj = oram._stash  # noqa: SLF001
+        self.stats = oram._stats  # noqa: SLF001
+        self.storage = oram.storage
+        self.working_set = oram._working_set  # noqa: SLF001
+        self.create = oram._create_on_miss  # noqa: SLF001
+        self.gate = oram._eviction_gate  # noqa: SLF001
+        self.no_eviction = type(oram._eviction) is NoEviction  # noqa: SLF001
+        self.bounded = oram.config.stash_capacity is not None
+        self.check_bound = oram._check_stash_bound  # noqa: SLF001
+        self.after_access = oram._eviction.after_access  # noqa: SLF001
+        # With an empty stash the serial loop's eviction gate always takes
+        # the `continue` branch when the gate is non-negative; members in
+        # that common case skip the post-access block entirely on the fast
+        # path.
+        self.evict_skip = self.gate is not None and self.gate >= 0
+        self.record_occupancy = self.stats.record_occupancy
+        self.scalar_only = bool(oram._record_path_trace)  # noqa: SLF001
+        self.slot = 0
+        self.row_base = 0
+        self.bucket_base = 0
+        # Deferred fast-path statistics (flushed before any observer runs).
+        self.acc_real = 0
+        self.acc_ops = 0
+        self.acc_blocks_read = 0
+        self.acc_blocks_written = 0
+        self.acc_occ = 0
+        self.acc_peak = 0
+        # Outcome.
+        self.value: Any = None
+        self.error: str | None = None
+        self.seconds = 0.0
+        self.retired = False
+
+
+class FleetEngine:
+    """Batched execution of one shape-compatible group of fleet members.
+
+    All members must share ``(levels, Z)`` — the runner's fleet executor
+    groups specs by exactly this shape — and sit on an exact
+    :class:`NumpyFlatTreeStorage` accepted by the scalar
+    :class:`ColumnEngine` (single-member groups, power-of-two leaf range).
+    Construction stacks the members' columns into the shared tensors;
+    :meth:`run` drives every program to completion.
+    """
+
+    #: Below this batch size a step runs through the scalar engine: the
+    #: fixed dispatch cost of a tensor step (~0.5 ms) exceeds a few scalar
+    #: reference accesses, so draining groups switch over for their tail.
+    _SCALAR_CUTOFF = 6
+
+    def __init__(
+        self,
+        members: list[FleetMember],
+        should_abort: Callable[[], bool] | None = None,
+        on_retire: Callable[[FleetMember], None] | None = None,
+    ) -> None:
+        if not members:
+            raise ConfigurationError("a fleet needs at least one member")
+        self._members = list(members)
+        config = self._members[0].oram.config
+        levels = config.levels
+        z = config.z
+        if levels > FLEET_MAX_LEVELS:
+            raise ConfigurationError(
+                f"fleet batches share one classification table; levels="
+                f"{levels} exceeds the table limit {FLEET_MAX_LEVELS}"
+            )
+        for member in self._members:
+            c = member.oram.config
+            if c.levels != levels or c.z != z:
+                raise ConfigurationError(
+                    "fleet members must share the tree shape (levels, Z): "
+                    f"got ({c.levels}, {c.z}) alongside ({levels}, {z})"
+                )
+        self._levels = levels
+        self._z = z
+        self._grid = grid = (levels + 1) * z
+        self._num_leaves = config.num_leaves
+        num_buckets = config.num_buckets
+        self._num_buckets = num_buckets
+        rows_per = num_buckets * z + 1
+        self._rows_per = rows_per
+        self._sentinel_local = num_buckets * z
+        self._empty_leaf = 1 << levels
+
+        # ---- stack the columns: one (n, slots) tensor per column ----
+        n = len(self._members)
+        addresses = np.empty((n, rows_per), dtype=np.int64)
+        leaves = np.empty((n, rows_per), dtype=np.int64)
+        counts = np.empty((n, num_buckets), dtype=np.int64)
+        for i, member in enumerate(self._members):
+            storage = member.oram.storage
+            if type(storage) is not NumpyFlatTreeStorage:
+                raise ConfigurationError(
+                    "fleet members need the exact NumpyFlatTreeStorage; got "
+                    f"{type(storage).__name__}"
+                )
+            storage.adopt_columns(addresses[i], leaves[i], counts[i])
+            # Rebuild the scalar engine so its cached column references
+            # point at the adopted views (the scalar fallback then mutates
+            # the shared tensor in place).
+            engine = ColumnEngine.for_oram(member.oram)
+            if engine is None:
+                raise ConfigurationError(
+                    "fleet members must be accepted by the column engine "
+                    "(single-member groups, columnar storage)"
+                )
+            member.oram._column_engine = engine  # noqa: SLF001
+            member.engine = engine
+            member.slot = i
+            member.row_base = i * rows_per
+            member.bucket_base = i * num_buckets
+        self._addr_flat = addresses.reshape(-1)
+        self._leaf_flat = leaves.reshape(-1)
+        self._counts_flat = counts.reshape(-1)
+
+        # Shared classification table — the exact table every member's
+        # ColumnEngine builds (deepest legal level of leaf-diff d).  Kept
+        # as uint8 (levels is capped at 16) so the stable class sort in
+        # _step_batch radix-sorts one byte per key instead of eight.
+        diffs = np.arange(1 << (levels + 1), dtype=np.int64)
+        bit_length = np.frexp(diffs.astype(np.float64))[1]
+        self._table = ((levels - bit_length) % (levels + 2)).astype(np.uint8)
+        self._offsets = np.arange(z, dtype=np.int64)
+        self._level_arange = np.arange(levels + 1, dtype=np.int64)
+        self._shifts = levels - self._level_arange
+        # Closed-form write-back scaffolding (see _step_batch): the level
+        # axis extended by one virtual terminator row, a lower-triangular
+        # window mask for the range-min, and the (d, c) validity mask of
+        # the cumulative-consumption matrix K.
+        jr = np.arange(levels + 2, dtype=np.int64)
+        self._jr = jr
+        self._win_mask = jr[None, :] >= jr[:, None]
+        self._k_valid = self._level_arange[None, :] >= (jr[:, None] - 1)
+        self._big = np.int64(1) << 62
+        # Slot-indexed per-member scaffolding: constant flags gathered per
+        # batch, and deferred fast-path counters the vectorised bookkeeping
+        # scatters into (folded into each member's stats by _flush).
+        self._rk = np.arange(n, dtype=np.int64)
+        self._intra_base = np.arange(n * (grid + 1), dtype=np.int64)
+        self._create_v = np.fromiter((m.create for m in self._members), dtype=bool, count=n)
+        self._rec_v = np.fromiter(
+            (m.record_occupancy for m in self._members),
+            dtype=np.int64,
+            count=n,
+        )
+        skip_v = np.fromiter((m.evict_skip for m in self._members), dtype=bool, count=n)
+        self._skip_v = skip_v
+        self._all_skip = bool(skip_v.all())
+        self._acc_real = np.zeros(n, dtype=np.int64)
+        self._acc_ops = np.zeros(n, dtype=np.int64)
+        self._acc_br = np.zeros(n, dtype=np.int64)
+        self._acc_bw = np.zeros(n, dtype=np.int64)
+        self._acc_occ = np.zeros(n, dtype=np.int64)
+        self._acc_peak = np.zeros(n, dtype=np.int64)
+        self._acc_samples = np.zeros(n, dtype=np.int64)
+        self._miss_flag = np.zeros(n, dtype=bool)
+
+        self._should_abort = should_abort
+        self._on_retire = on_retire
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    # Driving loop
+    # ------------------------------------------------------------------
+    def run(self) -> list[FleetMember]:
+        """Drive every member's program to completion; returns the members
+        (retired, with ``value``/``error``/``seconds`` filled)."""
+        self._t0 = time.perf_counter()
+        members = self._members
+        for member in members:
+            if not member.retired:
+                self._pump(member, None)
+        active = [m for m in members if not m.retired]
+        should_abort = self._should_abort
+        batch: list[FleetMember] = []
+        addr_l: list[int] = []
+        leaf_l: list[int] = []
+        nl_l: list[int] = []
+        while active:
+            if should_abort is not None and should_abort():
+                for member in active:
+                    member.error = "aborted"
+                    member.retired = True
+                break
+            del batch[:]
+            del addr_l[:]
+            del leaf_l[:]
+            del nl_l[:]
+            any_retired = False
+            for member in active:
+                if member.pos >= len(member.chunk):
+                    self._pump(member, None)
+                    if member.retired:
+                        any_retired = True
+                        continue
+                address = member.chunk[member.pos]
+                member.pos += 1
+                if member.scalar_only or member.stash_blocks or member.storage.has_payloads:
+                    self._scalar_access(member, address)
+                    if member.retired:
+                        any_retired = True
+                else:
+                    pm = member.pm
+                    index = address - 1
+                    leaf = pm[index]
+                    new_leaf = member.getrandbits(member.bits)
+                    pm[index] = new_leaf
+                    batch.append(member)
+                    addr_l.append(address)
+                    leaf_l.append(leaf)
+                    nl_l.append(new_leaf)
+            if batch:
+                if len(batch) < self._SCALAR_CUTOFF:
+                    # A batched step has a fixed tensor-dispatch cost that
+                    # dwarfs a handful of scalar accesses; as a group
+                    # drains below the cutoff, the reference engine is
+                    # faster (and identical by construction).
+                    for i, member in enumerate(batch):
+                        self._scalar_body(member, addr_l[i], leaf_l[i], nl_l[i])
+                        if member.retired:
+                            any_retired = True
+                elif self._step_batch(batch, addr_l, leaf_l, nl_l):
+                    any_retired = True
+            if any_retired:
+                active = [m for m in active if not m.retired]
+        for member in members:
+            self._flush(member)
+        return members
+
+    # ------------------------------------------------------------------
+    # The batched step
+    # ------------------------------------------------------------------
+    def _step_batch(
+        self,
+        batch: list[FleetMember],
+        addr_l: list[int],
+        leaf_l: list[int],
+        nl_l: list[int],
+    ) -> bool:
+        """One access per batch member as tensor ops; returns True when any
+        member retired (eviction error surfaced through its program)."""
+        k = len(batch)
+        levels = self._levels
+        z = self._z
+        grid = self._grid
+        table = self._table
+        leaf_v = np.array(leaf_l, dtype=np.int64)
+        addr_v = np.array(addr_l, dtype=np.int64)
+        nl_v = np.array(nl_l, dtype=np.int64)
+        slot_v = np.fromiter((m.slot for m in batch), dtype=np.int64, count=k)
+        row_base = slot_v * self._rows_per
+
+        # Root-first path buckets: tree.path_indices in closed form.  The
+        # leaf's heap node is num_leaves - 1 + leaf; in 1-based heap
+        # numbering ancestors are right-shifts, so the level-l bucket is
+        # ((node + 1) >> (levels - l)) - 1.
+        buckets = ((leaf_v[:, None] + self._num_leaves) >> self._shifts) - 1
+
+        # Extended gather grid: every path slot row plus the per-member
+        # sentinel row, offset into the flat stacked tensor.
+        idx = np.empty((k, grid + 1), dtype=np.int64)
+        idx[:, :grid] = ((buckets * z)[:, :, None] + self._offsets).reshape(k, grid)
+        idx[:, grid] = self._sentinel_local
+        idx += row_base[:, None]
+
+        addr_col = self._addr_flat
+        leaf_col = self._leaf_flat
+
+        # ---- batched gather + classification (shared table) ----
+        rk = self._rk[:k]
+        lvs = leaf_col[idx]
+        cls = table[lvs ^ leaf_v[:, None]]
+        order = np.argsort(cls, axis=1, kind="stable")
+        flat_o = order + (rk * (grid + 1))[:, None]
+        addrs_s = addr_col[idx.reshape(-1)[flat_o]]
+        lvs_s = lvs.reshape(-1)[flat_o]
+        cnt = np.bincount(
+            (cls + (rk * (levels + 2))[:, None]).ravel(),
+            minlength=k * (levels + 2),
+        ).reshape(k, levels + 2)
+        live = grid + 1 - cnt[:, levels + 1]
+
+        # ---- locate the accessed block (read order) ----
+        # The accessed block's stored leaf is the path leaf, so a match is
+        # always in the deepest class pool — the address test suffices.
+        hit_mat = addrs_s == addr_v[:, None]
+        has_hit = hit_mat.any(axis=1)
+        tpos = hit_mat.argmax(axis=1)
+
+        # ---- the greedy write-back in closed form ----
+        # The scalar engine's placement walk is a LIFO over *class spans*:
+        # at level d (deepest first) it pushes class d's pool and pops up
+        # to Z elements, class d's own span first, then ascending leftover
+        # classes.  Because every span is consumed from its tail, a class
+        # pool's remainder is always a *prefix* of the pool — in compacted
+        # coordinates (the accessed block removed from the deepest pool)
+        # even a hit keeps that invariant.  Both outputs of that walk then
+        # have closed forms over the pool-size vector n and the per-level
+        # virtual-chunk indicator v:
+        #
+        # * the cumulative take T(d) = sum of bucket fills at levels >= d
+        #   obeys T(d) = min(S(d), T(d+1) + Z) with S the suffix sum of
+        #   n + v, which unrolls to a running minimum over S(j) + Z*(j-d);
+        # * the cumulative consumption K(d, c) = elements of classes <= c
+        #   consumed by levels >= d obeys K(d, c) = min(N(d, c), s(d) +
+        #   K(d+1, c)) — greedy ascending-class consumption of the span
+        #   need s(d) = take(d) - v(d) — which unrolls to a windowed
+        #   minimum of B(j) = -P(j-1) - cs(j) over j in [d, c+1] (P the
+        #   pool prefix sum, cs the suffix sum of s).  X[row, d, c], the
+        #   number of class-c elements bucket d takes, is K's second
+        #   difference.
+        #
+        # The retargeted accessed block rides as the reference's virtual
+        # chunk: pushed above its class pool, so it is consumed at exactly
+        # level vc and, after the reference's chunk-reversal, placed last —
+        # slot takes[vc] - 1.
+        vcls = table[nl_v ^ leaf_v]
+        miss_c = ~has_hit & self._create_v[slot_v]
+        n = cnt[:, : levels + 1].copy()
+        n[has_hit, levels] -= 1
+        virt_mat = np.where(has_hit[:, None], vcls[:, None] == self._level_arange, False)
+        jr = self._jr
+        width = levels + 2
+        suffix = np.empty((k, width), dtype=np.int64)
+        suffix[:, levels + 1] = 0
+        np.cumsum((n + virt_mat)[:, ::-1], axis=1, out=suffix[:, -2::-1])
+        cum_take = np.minimum.accumulate((suffix + z * jr)[:, ::-1], axis=1)[:, ::-1] - z * jr
+        takes = cum_take[:, : levels + 1] - cum_take[:, 1:]
+        span_need = takes - virt_mat
+        cs = np.empty((k, width), dtype=np.int64)
+        cs[:, levels + 1] = 0
+        np.cumsum(span_need[:, ::-1], axis=1, out=cs[:, -2::-1])
+        pool_pre = np.cumsum(n, axis=1)
+        b = np.empty((k, width), dtype=np.int64)
+        b[:, 0] = 0
+        b[:, 1:] = pool_pre
+        np.negative(b, out=b)
+        b -= cs
+        win = np.minimum.accumulate(np.where(self._win_mask, b[:, None, :], self._big), axis=2)
+        big_k = cs[:, :, None] + pool_pre[:, None, :] + win[:, :, 1:]
+        big_k = np.where(self._k_valid, big_k, 0)
+        per_level = big_k[:, : levels + 1, :] - big_k[:, 1:, :]
+        consumed = np.empty((k, levels + 1, levels + 1), dtype=np.int64)
+        consumed[:, :, 0] = per_level[:, :, 0]
+        consumed[:, :, 1:] = per_level[:, :, 1:] - per_level[:, :, :-1]
+        # Unplaced span elements would spill into the stash (the reference
+        # materialises them as Blocks); those rows replay through the
+        # scalar engine.  A created block is placed like a stash candidate:
+        # deepest level <= vc whose span take left room — none means it
+        # stays in the stash, also a scalar case.
+        spill = suffix[:, 0] > cum_take[:, 0]
+        room = (takes < z) & (self._level_arange <= vcls[:, None])
+        has_room = room.any(axis=1)
+        dstar = levels - room[:, ::-1].argmax(axis=1)
+        fast = ~spill & (~miss_c | has_room)
+
+        fr = np.nonzero(fast)[0]
+        retired = False
+        if fr.size:
+            # ---- empty-fill the fast rows' paths, then scatter back ----
+            idx_f = idx[fr]
+            grid_rows = idx_f[:, :grid].ravel()
+            addr_col[grid_rows] = _EMPTY
+            leaf_col[grid_rows] = self._empty_leaf
+
+            kf = fr.size
+            x_f = consumed[fr]
+            buckets_f = buckets[fr]
+            rbase_f = row_base[fr]
+            # Class pools are laid out in ascending class order by the
+            # stable argsort; the (compacted) run bucket d takes from class
+            # c ends at the pool's prefix sum minus what deeper levels
+            # already consumed (the suffix-inclusive consumption).
+            after = np.cumsum(x_f[:, ::-1, :], axis=1)[:, ::-1, :]
+            src_start = pool_pre[fr][:, None, :] - after
+            # Within a bucket the reference reverses the popped chunks:
+            # deeper-class runs first, ascending positions inside a run —
+            # the run offset is the bucket's span need minus its
+            # prefix-inclusive consumption.
+            off = span_need[fr][:, :, None] - per_level[fr]
+            dst_start = (rbase_f[:, None] + buckets_f * z)[:, :, None] + off
+
+            lengths = x_f.reshape(-1)
+            total = int(lengths.sum())
+            if total:
+                src0 = np.repeat(src_start.reshape(-1), lengths)
+                dst0 = np.repeat(dst_start.reshape(-1), lengths)
+                excl = np.cumsum(lengths) - lengths
+                intra = self._intra_base[:total] - np.repeat(excl, lengths)
+                dst_rows = dst0 + intra
+                src_p = src0 + intra
+                row_e = np.repeat(rk[:kf], x_f.reshape(kf, -1).sum(axis=1))
+                # Back to real sort positions: behind an extracted hit the
+                # deepest pool's positions shift up by one.
+                src_p += has_hit[fr][row_e] & (src_p >= tpos[fr][row_e])
+                flat = row_e * (grid + 1) + src_p
+                addr_col[dst_rows] = addrs_s[fr].reshape(-1)[flat]
+                leaf_col[dst_rows] = lvs_s[fr].reshape(-1)[flat]
+
+            # ---- the accessed block and the per-bucket counts ----
+            takes_f = takes[fr]
+            hidx = np.nonzero(has_hit[fr])[0]
+            if hidx.size:
+                vc_h = vcls[fr][hidx]
+                vslot = takes_f[hidx, vc_h] - 1
+                vrows = rbase_f[hidx] + buckets_f[hidx, vc_h] * z + vslot
+                addr_col[vrows] = addr_v[fr][hidx]
+                leaf_col[vrows] = nl_v[fr][hidx]
+            midx = np.nonzero(miss_c[fr])[0]
+            if midx.size:
+                ds_m = dstar[fr][midx]
+                mslot = takes_f[midx, ds_m]
+                takes_f[midx, ds_m] += 1
+                mrows = rbase_f[midx] + buckets_f[midx, ds_m] * z + mslot
+                addr_col[mrows] = addr_v[fr][midx]
+                leaf_col[mrows] = nl_v[fr][midx]
+            cbase_f = slot_v[fr] * self._num_buckets
+            self._counts_flat[cbase_f[:, None] + buckets_f] = takes_f
+
+            # ---- vectorised bookkeeping (deferred statistics) ----
+            # One scatter per counter into the slot-indexed accumulators
+            # (batch slots are unique, so fancy in-place ops are exact);
+            # _flush folds them into the member's stats.  A created block
+            # passes through the stash, so the occupancy high-water mark
+            # must see it (deferred through _miss_flag: a monotone max, so
+            # applying it at flush time is order-independent).  Fast-path
+            # occupancy samples are always 0 (the fast path requires an
+            # empty stash) — only their count is deferred.
+            slots_f = slot_v[fr]
+            live_f = live[fr]
+            miss_f = miss_c[fr]
+            self._acc_real[slots_f] += 1
+            self._acc_ops[slots_f] += 1
+            self._acc_br[slots_f] += live_f
+            self._acc_bw[slots_f] += live_f + miss_f
+            self._acc_occ[slots_f] += miss_f
+            self._miss_flag[slots_f] |= miss_f
+            self._acc_samples[slots_f] += self._rec_v[slots_f]
+            self._acc_peak[slots_f] = np.maximum(self._acc_peak[slots_f], live_f)
+            if not self._all_skip:
+                for i in fr[~self._skip_v[slots_f]].tolist():
+                    member = batch[i]
+                    self._flush_samples(member)
+                    try:
+                        self._post_access(member)
+                    except ReproError as exc:
+                        self._pump(member, exc)
+                        retired = retired or member.retired
+                    except Exception:  # noqa: BLE001 - envelope carries it
+                        self._retire_error(member)
+                        retired = True
+
+        # ---- accesses outside the closed-form envelope: scalar replay ----
+        if fr.size != k:
+            for i in np.nonzero(~fast)[0].tolist():
+                member = batch[i]
+                self._scalar_body(member, addr_l[i], leaf_l[i], nl_l[i])
+                retired = retired or member.retired
+        return retired
+
+    # ------------------------------------------------------------------
+    # Scalar fallback (the pinned reference semantics)
+    # ------------------------------------------------------------------
+    def _scalar_access(self, member: FleetMember, address: int) -> None:
+        pm = member.pm
+        index = address - 1
+        leaf = pm[index]
+        new_leaf = member.getrandbits(member.bits)
+        pm[index] = new_leaf
+        self._scalar_body(member, address, leaf, new_leaf)
+
+    def _scalar_body(self, member: FleetMember, address: int, leaf: int, new_leaf: int) -> None:
+        """One access through the member's own ColumnEngine — statement for
+        statement the serial ``access_many`` body (read trace, no data)."""
+        self._flush_samples(member)
+        try:
+            member.engine._path_op(  # noqa: SLF001
+                address,
+                leaf,
+                new_leaf,
+                False,
+                None,
+                member.create,
+                None,
+                0,
+                0,
+                0,
+            )
+            member.acc_real += 1
+            if member.record_occupancy:
+                member.stats.stash_occupancy_samples.append(len(member.stash_blocks))
+            self._post_access(member)
+        except ReproError as exc:
+            self._pump(member, exc)
+        except Exception:  # noqa: BLE001 - envelope carries the traceback
+            self._retire_error(member)
+
+    def _post_access(self, member: FleetMember) -> None:
+        """The serial loop's gate / eviction / bound block for one access."""
+        if member.gate is not None and len(member.stash_blocks) <= member.gate:
+            return
+        if member.no_eviction:
+            if member.bounded:
+                member.check_bound()
+            return
+        member.after_access(member.oram)
+        member.check_bound()
+
+    # ------------------------------------------------------------------
+    # Program plumbing
+    # ------------------------------------------------------------------
+    def _pump(self, member: FleetMember, exc: BaseException | None) -> None:
+        """Advance the member's program to its next non-empty chunk.
+
+        ``exc`` (a ReproError from the simulation) is thrown into the
+        generator at the current yield, mirroring the exception escaping a
+        serial ``access_many`` call.  Retires the member when the program
+        returns (its return value is the abort reason) or fails.
+        """
+        self._flush(member)
+        member.chunk = []
+        member.pos = 0
+        gen = member.gen
+        while True:
+            try:
+                if exc is not None:
+                    chunk = gen.throw(exc)
+                    exc = None
+                else:
+                    chunk = next(gen)
+            except StopIteration as stop:
+                self._retire_value(member, stop.value)
+                return
+            except Exception:  # noqa: BLE001 - envelope carries the traceback
+                self._retire_error(member)
+                return
+            if type(chunk) is not list:
+                chunk = list(chunk)
+            if not chunk:
+                continue
+            working_set = member.working_set
+            if min(chunk) < 1 or max(chunk) > working_set:
+                # Same contract (and message) as access_many's validation;
+                # a ReproError, so the program decides how to fold it.
+                bad = next(a for a in chunk if not 1 <= a <= working_set)
+                exc = ConfigurationError(f"address {bad} outside [1, {working_set}]")
+                continue
+            member.chunk = chunk
+            member.pos = 0
+            return
+
+    def _flush_samples(self, member: FleetMember) -> None:
+        """Append the deferred (all-zero) fast-path occupancy samples.
+
+        Must run before anything that appends samples directly — the
+        scalar fallback and per-access eviction — so the sample order
+        matches serial execution exactly.
+        """
+        slot = member.slot
+        pending = int(self._acc_samples[slot])
+        if pending:
+            member.stats.stash_occupancy_samples.extend([0] * pending)
+            self._acc_samples[slot] = 0
+
+    def _flush(self, member: FleetMember) -> None:
+        """Fold the deferred fast-path counters into the member's stats."""
+        stats = member.stats
+        slot = member.slot
+        real = member.acc_real + int(self._acc_real[slot])
+        if real:
+            stats.real_accesses += real
+            member.acc_real = 0
+            self._acc_real[slot] = 0
+        ops = member.acc_ops + int(self._acc_ops[slot])
+        if ops:
+            stats.path_reads += ops
+            stats.path_writes += ops
+            stats.blocks_read += member.acc_blocks_read + int(self._acc_br[slot])
+            stats.blocks_written += member.acc_blocks_written + int(self._acc_bw[slot])
+            member.storage._occupancy += member.acc_occ + int(  # noqa: SLF001
+                self._acc_occ[slot]
+            )
+            member.acc_ops = 0
+            member.acc_blocks_read = 0
+            member.acc_blocks_written = 0
+            member.acc_occ = 0
+            self._acc_ops[slot] = 0
+            self._acc_br[slot] = 0
+            self._acc_bw[slot] = 0
+            self._acc_occ[slot] = 0
+        peak = member.acc_peak
+        engine_peak = int(self._acc_peak[slot])
+        if engine_peak > peak:
+            peak = engine_peak
+        if peak:
+            oram = member.oram
+            if peak > oram._transient_peak:  # noqa: SLF001
+                oram._transient_peak = peak  # noqa: SLF001
+            member.acc_peak = 0
+            self._acc_peak[slot] = 0
+        self._flush_samples(member)
+        if self._miss_flag[slot]:
+            self._miss_flag[slot] = False
+            stash = member.stash_obj
+            # The created block passed through the stash; the occupancy
+            # high-water mark must see it (monotone, so deferral is safe).
+            if stash._max_occupancy < 1:  # noqa: SLF001
+                stash._max_occupancy = 1  # noqa: SLF001
+
+    def _retire_value(self, member: FleetMember, abort_reason: Any) -> None:
+        self._flush(member)
+        try:
+            member.value = member.finalize(member.oram, abort_reason)
+        except Exception:  # noqa: BLE001 - envelope carries the traceback
+            member.error = _format_exc()
+        self._finish(member)
+
+    def _retire_error(self, member: FleetMember) -> None:
+        self._flush(member)
+        member.error = _format_exc()
+        self._finish(member)
+
+    def _finish(self, member: FleetMember) -> None:
+        member.retired = True
+        member.chunk = []
+        member.pos = 0
+        member.seconds = time.perf_counter() - self._t0
+        if self._on_retire is not None:
+            self._on_retire(member)

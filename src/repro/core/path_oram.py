@@ -458,6 +458,8 @@ class PathORAM:
         engine = self._column_engine
         if engine is not None:
             return engine.access_many(addresses, op, data)
+        if self._dynamic:
+            return self._access_many_dynamic(addresses, op, data)
         table = self._deepest_table
         pairs = self._path_pairs
         if (
@@ -826,7 +828,8 @@ class PathORAM:
         self, addresses: Any, op: Operation, data: Any
     ) -> TraceResult:
         """Per-access fallback for configurations the fused loop cannot take
-        (wrapper storages, super blocks, huge trees, single-leaf ORAMs)."""
+        (wrapper storages, static super blocks, huge trees, single-leaf
+        ORAMs)."""
         access = self.access
         real = found_count = dummy_total = 0
         for address in addresses:
@@ -834,6 +837,52 @@ class PathORAM:
             real += 1
             found_count += result.found
             dummy_total += result.dummy_accesses
+        return TraceResult(accesses=real, found=found_count, dummy_accesses=dummy_total)
+
+    def _access_many_dynamic(
+        self, addresses: Any, op: Operation, data: Any
+    ) -> TraceResult:
+        """Fused trace loop for the dynamic super-block path.
+
+        Same contract as the flat fused loop: bit-for-bit identical to a
+        per-access ``_access_dynamic`` loop (same RNG stream, same mapper
+        decisions, same stash/tree state, same statistics), with the
+        per-access bookkeeping hoisted out — one attribute lookup per
+        trace instead of per access, up-front trace validation, and the
+        real-access counter flushed to :attr:`stats` once at the end.
+        The path operation itself stays :meth:`_dynamic_path_op`: the
+        mapper's merge/split planning is inherently per-access state, so
+        the fusion wins come from the loop body around it, not from
+        batching path operations.
+        """
+        working_set = self._working_set
+        if type(addresses) is not list:
+            addresses = list(addresses)
+        if addresses and (min(addresses) < 1 or max(addresses) > working_set):
+            bad = next(a for a in addresses if not 1 <= a <= working_set)
+            raise ConfigurationError(f"address {bad} outside [1, {working_set}]")
+        path_op = self._dynamic_path_op
+        stash_blocks = self._stash_blocks
+        stats = self._stats
+        record_occupancy = stats.record_occupancy
+        samples_append = stats.stash_occupancy_samples.append
+        gate = self._eviction_gate
+        after_access = self._eviction.after_access
+        check_bound = self._check_stash_bound
+        real = found_count = dummy_total = 0
+        try:
+            for address in addresses:
+                result = path_op(address, op, data, None)
+                real += 1
+                found_count += result.found
+                if record_occupancy:
+                    samples_append(len(stash_blocks))
+                if gate is not None and len(stash_blocks) <= gate:
+                    continue
+                dummy_total += after_access(self)
+                check_bound()
+        finally:
+            stats.real_accesses += real
         return TraceResult(accesses=real, found=found_count, dummy_accesses=dummy_total)
 
     # ------------------------------------------------------------------
@@ -1311,7 +1360,32 @@ class PathORAM:
         return extracted
 
     def _extract_dynamic(self, address: int) -> dict[int, Any]:
-        """Exclusive-ORAM extraction under dynamic super-block merging.
+        """Exclusive-ORAM extraction under dynamic super-block merging."""
+        found = self._extract_dynamic_core(address, None)
+        self._eviction.after_access(self)
+        self._check_stash_bound()
+        return found
+
+    def extract_dynamic_path(self, address: int, fresh_leaf: int) -> dict[int, Any]:
+        """Exclusive-ORAM extraction under dynamic merging with an
+        externally drawn fresh leaf.
+
+        The recursive construction's counterpart of :meth:`extract_path`:
+        the hierarchical chain walk has already performed its position-map
+        ORAM accesses and installed ``fresh_leaf`` for ``address``, and
+        this ORAM's per-address mirror is authoritative for where each
+        member truly is (see :meth:`access_dynamic_path`).  ``fresh_leaf``
+        is used only when the plan calls for a fresh uniformly random
+        leaf.  Background eviction is the hierarchy's job, so none runs
+        here.
+        """
+        self._check_address(address)
+        return self._extract_dynamic_core(address, fresh_leaf)
+
+    def _extract_dynamic_core(
+        self, address: int, fresh_leaf: int | None
+    ) -> dict[int, Any]:
+        """The shared dynamic extraction body (read to stats update).
 
         Observes the access like any other (so cache-miss streams drive the
         merge/split policy too), reads the accessed member's own path, and
@@ -1323,6 +1397,10 @@ class PathORAM:
         fabricated, since their blocks still live on other paths); the
         extracted members' entries move to the group's next leaf so a later
         :meth:`insert` lands them co-resident again.
+
+        ``fresh_leaf`` is the pre-drawn leaf supplied by the recursive
+        chain walk (``None`` on the flat protocol, which draws lazily —
+        only when the plan calls for a fresh leaf).
         """
         leaves = self._pm_leaves
         old_leaf = leaves[address - 1]
@@ -1330,7 +1408,10 @@ class PathORAM:
         if plan.target_leaf is not None:
             new_leaf = plan.target_leaf
         else:
-            new_leaf = self._random_leaf()
+            if fresh_leaf is not None:
+                new_leaf = fresh_leaf
+            else:
+                new_leaf = self._random_leaf()
             self._mapper.set_anchor(plan.lo, new_leaf)
         self._read_path_into_stash(old_leaf)
         lo, hi = plan.lo, plan.hi

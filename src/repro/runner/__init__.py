@@ -20,6 +20,7 @@ Typical use::
     points = ExperimentRunner(executor="process").run_values(specs)
 """
 
+from repro.runner.fleet import FleetPlan, register_fleet_adapter, run_fleet
 from repro.runner.runner import ExperimentRunner, ProgressCallback, RunnerError
 from repro.runner.spec import ExperimentResult, ExperimentSpec, derive_seed
 from repro.runner.windows import WindowPlan, merge_counters, run_windows, window_specs
@@ -28,11 +29,14 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "ExperimentResult",
+    "FleetPlan",
     "ProgressCallback",
     "RunnerError",
     "WindowPlan",
     "derive_seed",
     "merge_counters",
+    "register_fleet_adapter",
+    "run_fleet",
     "run_windows",
     "window_specs",
 ]

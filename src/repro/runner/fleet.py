@@ -1,0 +1,211 @@
+"""Fleet executor plumbing: grouping specs into batched tensor runs.
+
+:func:`run_fleet` is the runner-side entry of the fleet execution mode
+(:mod:`repro.core.numpy_fleet` holds the tensor engine).  It partitions a
+batch of :class:`~repro.runner.spec.ExperimentSpec` points into groups that
+can share one stacked column tensor, runs each group through a
+:class:`~repro.core.numpy_fleet.FleetEngine`, and hands everything it
+cannot batch to a caller-supplied *fallback* executor — so drivers get one
+call that is never worse than the executor they had.
+
+A spec is fleet-eligible when a **fleet adapter** is registered for its
+``fn`` (see :func:`register_fleet_adapter`) and that adapter can produce a
+:class:`FleetPlan` for the spec's kwargs.  The plan carries:
+
+``shape``
+    The grouping key.  Specs whose plans share ``shape`` (for the sweep
+    adapters: the ``(levels, Z)`` tree shape) ride in one engine batch —
+    they must, because the batch shares one classification table and one
+    row-grid geometry.  Different shapes simply form separate batches.
+``build()``
+    Builds the point's ORAM (numpy-flat, column engine attached), seeded
+    exactly as the serial driver would seed it.
+``program(oram)``
+    A generator yielding chunks of addresses; its return value is the
+    abort reason.  This is the serial measurement loop turned inside out:
+    the engine performs the accesses, the program keeps the driver's
+    between-chunk logic (abort checks, ``stats.reset()``).
+``finalize(oram, abort_reason)``
+    Computes the point's result value from the finished ORAM — the same
+    value the serial ``fn`` returns.
+
+Fallback semantics: specs with no adapter, specs whose adapter declines
+(returns ``None``), and the still-unfinished remainder of a group whose
+batch run raised, all go to the fallback in their original spec positions.
+Results are always returned in spec order, and each point's value is
+bit-identical to serial execution (the differential suite in
+``tests/test_fleet.py`` pins this).
+
+This module is NumPy-free at import time: the engine import happens inside
+:func:`run_fleet`, and when it fails (no NumPy) every spec takes the
+fallback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runner.runner import ProgressCallback
+from repro.runner.spec import ExperimentResult, ExperimentSpec
+
+#: Deepest tree the fleet engine batches.  The shared classification table
+#: covers leaf-XOR values up to ``2**(levels+1)`` entries, matching the
+#: scalar column engine's own table cap; deeper trees fall back.
+FLEET_MAX_LEVELS = 16
+
+#: Smallest group worth batching.  A tensor step has a fixed dispatch cost
+#: of a few hundred microseconds regardless of batch size, so a group needs
+#: enough members to amortise it below the scalar engine's per-access cost;
+#: smaller groups run faster on the fallback executor.  Callers with
+#: correctness rigs (the differential suite) pass ``min_group=1``.
+FLEET_MIN_GROUP = 32
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """How one experiment point runs inside a fleet batch (module doc)."""
+
+    shape: tuple
+    build: Callable[[], Any]
+    program: Callable[[Any], Iterator[list[int]]]
+    finalize: Callable[[Any, Any], Any]
+
+
+#: A planner inspects one spec and plans its batched run (or declines).
+Planner = Callable[["ExperimentSpec"], "FleetPlan | None"]
+
+#: Registered planners: spec.fn -> planner.
+_ADAPTERS: dict[Any, Planner] = {}
+
+
+def register_fleet_adapter(fn: Callable[..., Any]) -> Callable[[Planner], Planner]:
+    """Class a driver function as fleet-runnable.
+
+    Decorator for a *planner*: ``planner(spec) -> FleetPlan | None``.  The
+    planner inspects the spec's kwargs and either returns a plan or
+    ``None`` to decline (unsupported config, non-batchable variant), in
+    which case the spec takes the fallback executor.
+    """
+
+    def register(planner: Planner) -> Planner:
+        _ADAPTERS[fn] = planner
+        return planner
+
+    return register
+
+
+def fleet_plan(spec: ExperimentSpec) -> FleetPlan | None:
+    """The spec's :class:`FleetPlan`, or ``None`` when it must fall back."""
+    planner = _ADAPTERS.get(spec.fn)
+    if planner is None:
+        return None
+    return planner(spec)
+
+
+def run_fleet(
+    specs: Sequence[ExperimentSpec],
+    fallback: Callable[[Sequence[ExperimentSpec]], list[ExperimentResult]],
+    progress: ProgressCallback | None = None,
+    should_abort: Callable[[], bool] | None = None,
+    min_group: int | None = None,
+) -> list[ExperimentResult]:
+    """Execute a grid with batched tensor runs where possible.
+
+    Eligible specs are grouped by plan shape and run through one
+    :class:`FleetEngine` per group; everything else goes to ``fallback``
+    (a callable executing a sub-batch of specs and returning their results
+    in order — e.g. a serial or process :class:`ExperimentRunner` run).
+    Groups smaller than ``min_group`` (default :data:`FLEET_MIN_GROUP`)
+    also take the fallback: below that size the tensor step's fixed
+    dispatch cost outweighs the batching.  Results come back in spec
+    order; ``progress`` fires once per completed point, in completion
+    order, with the overall done-count.
+    """
+    if min_group is None:
+        min_group = FLEET_MIN_GROUP
+    spec_list = list(specs)
+    total = len(spec_list)
+    results: list[ExperimentResult | None] = [None] * total
+    done = 0
+
+    def report(result: ExperimentResult) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    try:
+        from repro.core.numpy_fleet import FleetEngine, FleetMember
+    except ImportError:  # pragma: no cover - NumPy-less environment
+        FleetEngine = None  # type: ignore[assignment]
+
+    groups: dict[tuple, list[int]] = {}
+    leftover: list[int] = []
+    plans: list[FleetPlan | None] = []
+    for index, spec in enumerate(spec_list):
+        plan = fleet_plan(spec) if FleetEngine is not None else None
+        plans.append(plan)
+        if plan is None:
+            leftover.append(index)
+        else:
+            groups.setdefault(plan.shape, []).append(index)
+
+    for shape in [s for s, ix in groups.items() if len(ix) < min_group]:
+        leftover.extend(groups.pop(shape))
+    leftover.sort()
+
+    for indices in groups.values():
+        if should_abort is not None and should_abort():
+            for index in indices:
+                results[index] = ExperimentResult(key=spec_list[index].key, error="aborted")
+                report(results[index])
+            continue
+        try:
+            members = []
+            index_of: dict[int, int] = {}
+            for index in indices:
+                plan = plans[index]
+                assert plan is not None
+                oram = plan.build()
+                member = FleetMember(
+                    key=spec_list[index].key,
+                    oram=oram,
+                    program=plan.program(oram),
+                    finalize=plan.finalize,
+                )
+                index_of[id(member)] = index
+                members.append(member)
+
+            def on_retire(member) -> None:
+                index = index_of[id(member)]
+                result = ExperimentResult(
+                    key=member.key,
+                    value=member.value,
+                    error=member.error,
+                    seconds=member.seconds,
+                )
+                results[index] = result
+                report(result)
+
+            FleetEngine(members, should_abort=should_abort, on_retire=on_retire).run()
+            for member in members:
+                index = index_of[id(member)]
+                if results[index] is None:
+                    # Aborted mid-batch: retired without on_retire firing.
+                    results[index] = ExperimentResult(
+                        key=member.key, error=member.error or "aborted"
+                    )
+                    report(results[index])
+        except Exception:  # noqa: BLE001 - batch failed: re-run the rest
+            pending = [i for i in indices if results[i] is None]
+            for index, result in zip(pending, fallback([spec_list[i] for i in pending])):
+                results[index] = result
+                report(result)
+
+    if leftover:
+        for index, result in zip(leftover, fallback([spec_list[i] for i in leftover])):
+            results[index] = result
+            report(result)
+
+    return [result for result in results if result is not None]

@@ -36,9 +36,7 @@ def _execute_spec(spec: ExperimentSpec) -> ExperimentResult:
             error=traceback.format_exc(limit=8),
             seconds=time.perf_counter() - start,
         )
-    return ExperimentResult(
-        key=spec.key, value=value, seconds=time.perf_counter() - start
-    )
+    return ExperimentResult(key=spec.key, value=value, seconds=time.perf_counter() - start)
 
 
 class ExperimentRunner:
@@ -53,7 +51,11 @@ class ExperimentRunner:
         (fresh ``random.Random(seed)`` per point, as all drivers here use)
         the output is bit-identical to serial mode.  If the pool cannot be
         created (restricted sandboxes, missing semaphores) the runner
-        falls back to serial execution.
+        falls back to serial execution.  ``"fleet"`` batches compatible
+        points into stacked column tensors (:mod:`repro.runner.fleet`) and
+        executes whole groups as vectorised ops — bit-identical to serial
+        per point — while incompatible points fall back to the process
+        executor.
     max_workers:
         Process count for the pool (default: ``os.cpu_count()``).
     progress:
@@ -72,13 +74,15 @@ class ExperimentRunner:
         max_workers: int | None = None,
         progress: ProgressCallback | None = None,
         should_abort: Callable[[], bool] | None = None,
+        fleet_min_group: int | None = None,
     ) -> None:
-        if executor not in ("serial", "process"):
+        if executor not in ("serial", "process", "fleet"):
             raise ValueError(f"unknown executor {executor!r}")
         self._executor = executor
         self._max_workers = max_workers
         self._progress = progress
         self._should_abort = should_abort
+        self._fleet_min_group = fleet_min_group
 
     # ------------------------------------------------------------------
     # Execution
@@ -88,6 +92,8 @@ class ExperimentRunner:
         spec_list = list(specs)
         if not spec_list:
             return []
+        if self._executor == "fleet":
+            return self._run_fleet(spec_list)
         workers = self._max_workers if self._max_workers is not None else os.cpu_count() or 1
         if self._executor == "process" and workers > 1 and len(spec_list) > 1:
             results = self._run_process(spec_list, workers)
@@ -108,9 +114,7 @@ class ExperimentRunner:
         failures = [result for result in results if not result.ok]
         if failures:
             details = "\n".join(f"  {result.key}: {result.error}" for result in failures[:5])
-            raise RunnerError(
-                f"{len(failures)} experiment point(s) failed:\n{details}"
-            )
+            raise RunnerError(f"{len(failures)} experiment point(s) failed:\n{details}")
         return [result.value for result in results]
 
     # ------------------------------------------------------------------
@@ -119,6 +123,25 @@ class ExperimentRunner:
     def _report(self, done: int, total: int, result: ExperimentResult) -> None:
         if self._progress is not None:
             self._progress(done, total, result)
+
+    def _run_fleet(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        """Batched tensor execution; non-batchable specs take the pool."""
+        from repro.runner.fleet import run_fleet
+
+        def fallback(batch: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+            return ExperimentRunner(
+                executor="process",
+                max_workers=self._max_workers,
+                should_abort=self._should_abort,
+            ).run(batch)
+
+        return run_fleet(
+            specs,
+            fallback=fallback,
+            progress=self._progress,
+            should_abort=self._should_abort,
+            min_group=self._fleet_min_group,
+        )
 
     def _run_serial(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
         results: list[ExperimentResult] = []
@@ -173,11 +196,7 @@ class ExperimentRunner:
                         slots[index] = result
                         done_count += 1
                         self._report(done_count, total, result)
-                    if (
-                        self._should_abort is not None
-                        and pending
-                        and self._should_abort()
-                    ):
+                    if self._should_abort is not None and pending and self._should_abort():
                         for future in pending:
                             future.cancel()
                         aborted = True

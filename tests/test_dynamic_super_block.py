@@ -445,10 +445,31 @@ class TestDynamicHierarchy:
         for address in (1, 2, 3, 100, 256):
             assert oram.read(address).data == address * 11
 
-    def test_exclusive_interface_rejected(self):
+    def test_exclusive_interface_round_trip(self):
+        # extract/insert route through the data ORAM's per-address mirror
+        # (chain labels are advisory under dynamic merging), so extracted
+        # members must vanish from the hierarchy and reappear after insert.
         oram = build_oram(self.spec(), self.hierarchy(), seed=73)
-        with pytest.raises(ConfigurationError):
-            oram.extract(1)
+        oram.access_many(locality_trace(random.Random(77), 256, 400))
+        for address in (1, 2, 3, 100, 256):
+            oram.write(address, address * 13)
+        held: dict[int, object] = {}
+        rng = random.Random(79)
+        for _ in range(200):
+            address = rng.randrange(1, 257)
+            if address in held:
+                oram.insert(address, held.pop(address))
+            else:
+                extracted = oram.extract(address)
+                assert address in extracted
+                for member in extracted:
+                    assert not oram.data_oram.contains(member), member
+                held.update(extracted)
+        for address, data in held.items():
+            oram.insert(address, data)
+        for address in (1, 2, 3, 100, 256):
+            assert oram.read(address).data == address * 13
+        assert oram.data_oram.stats.super_block_merges > 0
 
     def test_requires_ungrouped_data_config(self):
         hierarchy = HierarchyConfig(

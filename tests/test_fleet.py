@@ -1,0 +1,255 @@
+"""Differential suite pinning fleet execution to serial bit-identity.
+
+The fleet executor's whole contract is that batching changes *nothing*
+observable per point: every ORAM driven inside a :class:`FleetEngine`
+batch must finish in exactly the state the serial reference loop leaves
+it in — tree columns, stash, position map, RNG stream, statistics,
+occupancy samples, transient stash peak — and every grid driver must
+return bit-identical values under ``executor="fleet"``.  These tests pin
+that contract, plus the fallback edges: groups below the batching
+threshold, specs with no adapter, specs whose adapter declines, and
+mid-batch retirement/abort.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.analysis import sweep as sweep_mod  # noqa: E402
+from repro.analysis.sweep import (  # noqa: E402
+    SWEEP_SPEC,
+    measure_dummy_ratio,
+    sweep_super_block_modes,
+    sweep_utilization,
+    utilization_config,
+)
+from repro.core.numpy_fleet import FleetEngine, FleetMember  # noqa: E402
+from repro.runner import ExperimentRunner, ExperimentSpec  # noqa: E402
+from repro.runner import fleet as fleet_runner  # noqa: E402
+
+
+def fingerprint(oram):
+    """Every observable of one PathORAM, RNG stream included."""
+    storage = oram.storage
+    tree = tuple(
+        tuple(
+            (block.address, block.leaf, repr(block.data))
+            for block in storage.read_bucket(index)
+        )
+        for index in range(storage.num_buckets)
+    )
+    stash = tuple(
+        sorted(
+            (block.address, block.leaf, repr(block.data))
+            for block in oram._stash.blocks()
+        )
+    )
+    stats = oram.stats
+    return (
+        tree,
+        stash,
+        tuple(oram.position_map.leaves),
+        oram._rng.getstate(),
+        stats.real_accesses,
+        stats.dummy_accesses,
+        stats.path_reads,
+        stats.path_writes,
+        stats.blocks_read,
+        stats.blocks_written,
+        tuple(stats.stash_occupancy_samples),
+        oram._stash.max_occupancy,
+        storage.occupancy(),
+    )
+
+
+def build_point(config, seed):
+    """A sweep point's ORAM, built exactly as the fleet adapters build it."""
+    return sweep_mod._fleet_build(SWEEP_SPEC, config, seed)
+
+
+def chunked_trace(seed, working_set, length, chunk=37):
+    rng = random.Random(seed)
+    trace = [rng.randrange(1, working_set + 1) for _ in range(length)]
+    return [trace[i : i + chunk] for i in range(0, len(trace), chunk)]
+
+
+def replay_program(chunks):
+    for chunk in chunks:
+        yield list(chunk)
+    return None
+
+
+class TestEngineBitIdentity:
+    CONFIG = utilization_config(4, 0.5, 512)
+
+    def test_single_member_matches_serial_loop(self):
+        chunks = chunked_trace(11, self.CONFIG.working_set_blocks, 900)
+        serial = build_point(self.CONFIG, 5)
+        for chunk in chunks:
+            serial.access_many(chunk)
+
+        oram = build_point(self.CONFIG, 5)
+        member = FleetMember(
+            key="solo",
+            oram=oram,
+            program=replay_program(chunks),
+            finalize=lambda o, reason: (fingerprint(o), reason),
+        )
+        FleetEngine([member]).run()
+        assert member.retired and member.error is None
+        batched_state, abort_reason = member.value
+        assert abort_reason is None
+        assert batched_state == fingerprint(serial)
+
+    def test_mixed_batch_retires_members_mid_run(self):
+        # Members share the tree shape but run different-length programs
+        # with different seeds: the long tail drains through the scalar
+        # cutoff path after the short members retire, and every single one
+        # must still land in its serial state.
+        lengths = [120, 400, 900, 260, 57, 700, 330]
+        serial_states = []
+        members = []
+        for index, length in enumerate(lengths):
+            chunks = chunked_trace(100 + index, self.CONFIG.working_set_blocks, length)
+            serial = build_point(self.CONFIG, index)
+            for chunk in chunks:
+                serial.access_many(chunk)
+            serial_states.append(fingerprint(serial))
+            members.append(
+                FleetMember(
+                    key=index,
+                    oram=build_point(self.CONFIG, index),
+                    program=replay_program(chunks),
+                    finalize=lambda o, reason: fingerprint(o),
+                )
+            )
+        retire_order = []
+        FleetEngine(members, on_retire=lambda m: retire_order.append(m.key)).run()
+        for member, expected in zip(members, serial_states):
+            assert member.error is None
+            assert member.value == expected, member.key
+        # Short programs must not wait for long ones.
+        assert retire_order.index(4) < retire_order.index(2)
+        assert sorted(retire_order) == list(range(len(lengths)))
+
+
+class TestSweepGridEquality:
+    GRID = dict(
+        z_values=[4],
+        utilizations=[0.35, 0.45, 0.55, 0.65],
+        capacity_blocks=512,
+        num_accesses=150,
+    )
+
+    def run_grid(self, executor, **overrides):
+        return sweep_utilization(seed=3, executor=executor, **{**self.GRID, **overrides})
+
+    def test_fleet_matches_serial_and_process(self, monkeypatch):
+        monkeypatch.setattr(fleet_runner, "FLEET_MIN_GROUP", 1)
+        reference = self.run_grid("serial")
+        assert self.run_grid("fleet") == reference
+        assert self.run_grid("process") == reference
+
+    def test_aborting_points_match_serial(self, monkeypatch):
+        # A tight abort factor makes the high-utilization points abort
+        # mid-measurement; the fleet engine must fold the abort into the
+        # same SweepPoint the serial loop produces.
+        monkeypatch.setattr(fleet_runner, "FLEET_MIN_GROUP", 1)
+        grid = dict(
+            utilizations=[0.5, 0.8, 0.93],
+            capacity_blocks=256,
+            stash_slack=2,
+            num_accesses=100,
+            abort_dummy_factor=2.0,
+        )
+        reference = self.run_grid("serial", **grid)
+        assert any(point.aborted for point in reference)
+        assert self.run_grid("fleet", **grid) == reference
+
+    def test_super_block_modes_match_serial(self, monkeypatch):
+        # Only the ungrouped baseline batches; static and dynamic points
+        # decline and ride the fallback — the whole axis must still be
+        # bit-identical to serial.
+        monkeypatch.setattr(fleet_runner, "FLEET_MIN_GROUP", 1)
+        config = utilization_config(4, 0.5, 512)
+        kwargs = dict(num_accesses=400, trace_kinds=("hotspot",), seed=7)
+        reference = sweep_super_block_modes(config, executor="serial", **kwargs)
+        assert sweep_super_block_modes(config, executor="fleet", **kwargs) == reference
+
+    def test_progress_fires_once_per_point(self, monkeypatch):
+        monkeypatch.setattr(fleet_runner, "FLEET_MIN_GROUP", 1)
+        seen = []
+        self.run_grid("fleet", progress=lambda done, total, result: seen.append((done, total)))
+        assert seen == [(i + 1, 4) for i in range(4)]
+
+    def test_abort_before_start_marks_all_points(self):
+        specs = [
+            ExperimentSpec(
+                key=i,
+                fn=measure_dummy_ratio,
+                kwargs={
+                    "config": utilization_config(4, 0.5, 512),
+                    "num_accesses": 50,
+                    "spec": SWEEP_SPEC,
+                },
+                seed=i,
+            )
+            for i in range(3)
+        ]
+        runner = ExperimentRunner(executor="fleet", fleet_min_group=1, should_abort=lambda: True)
+        results = runner.run(specs)
+        assert [result.error for result in results] == ["aborted"] * 3
+
+
+class TestFallbackEdges:
+    def engine_guard(self, monkeypatch):
+        """Make FleetEngine construction an error: the test asserts the
+        batch path was never taken."""
+
+        def explode(*args, **kwargs):
+            raise AssertionError("FleetEngine must not be constructed")
+
+        monkeypatch.setattr("repro.core.numpy_fleet.FleetEngine", explode)
+
+    def test_small_groups_take_the_fallback(self, monkeypatch):
+        # Default FLEET_MIN_GROUP exceeds this grid, so the whole run must
+        # go through the fallback executor without touching the engine.
+        self.engine_guard(monkeypatch)
+        grid = dict(
+            z_values=[4],
+            utilizations=[0.4, 0.6],
+            capacity_blocks=512,
+            num_accesses=80,
+        )
+        reference = sweep_utilization(seed=1, executor="serial", **grid)
+        assert sweep_utilization(seed=1, executor="fleet", **grid) == reference
+
+    def test_unregistered_fn_takes_the_fallback(self, monkeypatch):
+        self.engine_guard(monkeypatch)
+        specs = [ExperimentSpec(key=i, fn=_square, kwargs={"x": i}) for i in range(5)]
+        runner = ExperimentRunner(executor="fleet", fleet_min_group=1)
+        assert runner.run_values(specs) == [i * i for i in range(5)]
+
+    def test_ineligible_spec_takes_the_fallback(self, monkeypatch):
+        # Dynamic super-block specs need the scalar per-access machinery;
+        # the adapter declines them and the grid still computes correctly.
+        self.engine_guard(monkeypatch)
+        dynamic_spec = SWEEP_SPEC.with_updates(dynamic_super_blocks=True, super_block_max_size=4)
+        assert not dynamic_spec.fleet_eligible
+        config = utilization_config(4, 0.5, 512)
+        kwargs = {"config": config, "num_accesses": 60, "spec": dynamic_spec}
+        specs = [
+            ExperimentSpec(key=i, fn=measure_dummy_ratio, kwargs=kwargs, seed=i)
+            for i in range(2)
+        ]
+        fleet_values = ExperimentRunner(executor="fleet", fleet_min_group=1).run_values(specs)
+        serial_values = ExperimentRunner(executor="serial").run_values(specs)
+        assert fleet_values == serial_values
+
+
+def _square(x: int, seed: int | None = None) -> int:
+    return x * x
