@@ -15,8 +15,9 @@ Usage::
 ``access_many`` path — useful for measuring how much the trace-at-once
 layer amortises.  ``--stack`` selects which replay to profile: the
 list-backed flat engine, the column-native ``numpy-flat`` engine, the
-recursive hierarchy, or (default) all of them — so column-native hotspots
-are profiled with the same harness as the list-engine ones.
+recursive hierarchy, the hierarchy with the PosMap Lookaside Buffer
+enabled (``plb``), or (default) all of them — so column-native and
+PLB hotspots are profiled with the same harness as the list-engine ones.
 """
 
 import argparse
@@ -82,6 +83,23 @@ def _hier_engine():
     )
 
 
+def _plb_engine():
+    data = ORAMConfig(
+        working_set_blocks=HIER_WORKING_SET, z=4, block_bytes=128, stash_capacity=200
+    )
+    hierarchy = HierarchyConfig(
+        data_oram=data,
+        position_map_block_bytes=8,
+        position_map_z=3,
+        onchip_position_map_limit_bytes=512,
+        name="profile-plb",
+    )
+    spec = OramSpec(
+        protocol="hierarchical", storage="flat", plb_entries_per_level=8
+    )
+    return prefill(build_oram(spec, hierarchy, seed=7), HIER_WORKING_SET)
+
+
 def profile_replay(name: str, engine, working_set: int, accesses: int,
                    top: int, loop: bool) -> str:
     """Profile one steady-state replay; return the formatted report."""
@@ -113,7 +131,7 @@ def main(argv=None) -> int:
     parser.add_argument("--loop", action="store_true",
                         help="profile the per-access loop instead of access_many")
     parser.add_argument("--stack", default="all",
-                        choices=("flat", "numpy-flat", "hierarchy", "all"),
+                        choices=("flat", "numpy-flat", "hierarchy", "plb", "all"),
                         help="which replay to profile (default: all)")
     args = parser.parse_args(argv)
 
@@ -121,6 +139,7 @@ def main(argv=None) -> int:
         "flat": ("flat", _flat_engine, FLAT_WORKING_SET),
         "numpy-flat": ("numpy-flat", _numpy_flat_engine, FLAT_WORKING_SET),
         "hierarchy": ("hierarchical", _hier_engine, HIER_WORKING_SET),
+        "plb": ("plb", _plb_engine, HIER_WORKING_SET),
     }
     if args.stack == "all":
         selected = list(replays.values())

@@ -383,6 +383,149 @@ def figure12_super_block_axis(benchmarks: list[str], num_memory_ops: int = 5_000
     return results
 
 
+@dataclass(frozen=True)
+class PlbReplayResult:
+    """One (benchmark, PLB capacity) ORAM-level SPEC replay."""
+
+    benchmark: str
+    entries_per_level: int
+    compressed: bool
+    num_orams: int
+    accesses: int
+    found: int
+    pm_ops: int
+    plb_hits: int
+    plb_misses: int
+    coalesced_ops: int
+
+    @property
+    def hit_rate(self) -> float:
+        """PLB hits per lookup (0 when the buffer is off)."""
+        lookups = self.plb_hits + self.plb_misses
+        if not lookups:
+            return 0.0
+        return self.plb_hits / lookups
+
+    @property
+    def pm_ops_per_access(self) -> float:
+        """Physical position-map path ops per logical access."""
+        if not self.accesses:
+            return 0.0
+        return self.pm_ops / self.accesses
+
+    @property
+    def pm_ops_saved_per_access(self) -> float:
+        """Position-map path ops the PLB skipped, per logical access
+        (out of ``num_orams - 1`` chain levels)."""
+        if not self.accesses:
+            return 0.0
+        return self.coalesced_ops / self.accesses
+
+
+def run_plb_trace_replay(benchmark: str, configuration: Figure12Config,
+                         entries_per_level: int, num_memory_ops: int,
+                         seed: int = 0, line_bytes: int = 128,
+                         compressed: bool = False,
+                         oram_spec: OramSpec = FIGURE12_SPEC
+                         ) -> PlbReplayResult:
+    """Replay one benchmark at the ORAM level under one PLB capacity.
+
+    The PosMap Lookaside Buffer axis of the SPEC evaluation: the same
+    derived-seed trace as :func:`run_oram_trace_replay`, with the spec's
+    ``plb_entries_per_level`` and ``compressed_position_map`` knobs set
+    per point and the stream consumed through one fused
+    :meth:`~repro.core.hierarchical.HierarchicalPathORAM.access_many`
+    call.  The build seed deliberately excludes the capacity and layout
+    knobs, so every capacity replays the identical address stream and
+    deltas measure the cache, not trace noise.  Returns the replay
+    counters plus the summed position-map chain statistics.
+    """
+    hierarchy = configuration.hierarchy
+    point_spec = oram_spec.with_updates(
+        plb_entries_per_level=entries_per_level,
+        compressed_position_map=compressed,
+    )
+    trace = benchmark_trace(benchmark, num_memory_ops, seed=seed)
+    oram = build_oram(
+        full_scale_spec(point_spec, hierarchy),
+        hierarchy,
+        seed=derive_seed(seed, ("spec-plb", benchmark, configuration.name)),
+    )
+    working_set = hierarchy.data_oram.working_set_blocks
+    addresses = [
+        (record.address // line_bytes) % working_set + 1 for record in trace
+    ]
+    result = oram.access_many(addresses)
+    pm_stats = [pm.stats for pm in oram.orams[1:]]
+    return PlbReplayResult(
+        benchmark=benchmark,
+        entries_per_level=entries_per_level,
+        compressed=compressed,
+        num_orams=oram.num_orams,
+        accesses=result.accesses,
+        found=result.found,
+        pm_ops=sum(stats.real_accesses for stats in pm_stats),
+        plb_hits=sum(stats.plb_hits for stats in pm_stats),
+        plb_misses=sum(stats.plb_misses for stats in pm_stats),
+        coalesced_ops=sum(stats.coalesced_ops for stats in pm_stats),
+    )
+
+
+def figure12_plb_axis(benchmarks: list[str], num_memory_ops: int = 5_000,
+                      capacities: tuple[int, ...] | None = None,
+                      functional_scale: float = 1.0 / 1024,
+                      compressed: bool = False, seed: int = 0,
+                      configuration: Figure12Config | None = None,
+                      executor: str = "serial",
+                      max_workers: int | None = None,
+                      progress: ProgressCallback | None = None
+                      ) -> dict[str, dict[int, PlbReplayResult]]:
+    """The PLB capacity axis over a set of SPEC benchmarks.
+
+    Every (benchmark, capacity) replay is an independent runner
+    experiment (``executor="process"`` is bit-identical to serial), so
+    the whole axis parallelises like the Figure 12 grid it extends.
+    ``executor="fleet"`` is accepted too: trace replays carry no fleet
+    adapter, so they ride the fleet runner's process fallback unchanged.
+    """
+    from repro.analysis.sweep import PLB_CAPACITIES
+
+    if capacities is None:
+        capacities = PLB_CAPACITIES
+    if configuration is None:
+        configuration = figure12_configurations(
+            functional_scale=functional_scale, seed=seed
+        )[0]
+    specs = [
+        ExperimentSpec(
+            key=("plb-axis", benchmark, compressed, capacity),
+            fn=run_plb_trace_replay,
+            kwargs={
+                "benchmark": benchmark,
+                "configuration": configuration,
+                "entries_per_level": capacity,
+                "num_memory_ops": num_memory_ops,
+                "compressed": compressed,
+            },
+            seed=seed,
+        )
+        for benchmark in benchmarks
+        for capacity in capacities
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    values = runner.run_values(specs)
+    results: dict[str, dict[int, PlbReplayResult]] = {}
+    index = 0
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for capacity in capacities:
+            results[benchmark][capacity] = values[index]
+            index += 1
+    return results
+
+
 def run_oram_trace_replay_sharded(benchmark: str, configuration: Figure12Config,
                                   num_memory_ops: int, windows: int = 4,
                                   seed: int = 0, line_bytes: int = 128,

@@ -475,6 +475,150 @@ def sweep_super_block_modes(
     return runner.run_values(specs)
 
 
+#: The PLB sweep axis: PosMap Lookaside Buffer capacities in position-map
+#: blocks per chain level.  0 is the uncached baseline and 1 reproduces the
+#: PR 4 single-op memo, so the axis spans "nothing" to "small real cache".
+PLB_CAPACITIES = (0, 1, 2, 4, 8, 16)
+
+#: The scenario the PLB sweep runs on: the recursive chain on the fast
+#: functional stack (the PLB only engages on fused position-map levels).
+PLB_SPEC = OramSpec(protocol="hierarchical", storage="flat")
+
+
+@dataclass(frozen=True)
+class PlbPoint:
+    """One (trace kind, PLB capacity) point of the lookaside sweep."""
+
+    trace_kind: str
+    entries_per_level: int
+    compressed: bool
+    num_orams: int
+    accesses: int
+    pm_ops: int
+    plb_hits: int
+    plb_misses: int
+    coalesced_ops: int
+
+    @property
+    def hit_rate(self) -> float:
+        """PLB hits per lookup (0 when the buffer is off)."""
+        lookups = self.plb_hits + self.plb_misses
+        if not lookups:
+            return 0.0
+        return self.plb_hits / lookups
+
+    @property
+    def pm_ops_per_access(self) -> float:
+        """Physical position-map path ops per logical access."""
+        if not self.accesses:
+            return 0.0
+        return self.pm_ops / self.accesses
+
+    @property
+    def pm_ops_saved_per_access(self) -> float:
+        """Position-map path ops the PLB skipped, per logical access
+        (out of ``num_orams - 1`` chain levels)."""
+        if not self.accesses:
+            return 0.0
+        return self.coalesced_ops / self.accesses
+
+
+def measure_plb_point(
+    hierarchy,
+    entries_per_level: int,
+    num_accesses: int,
+    seed: int = 0,
+    trace_kind: str = "pointer_chase",
+    compressed: bool = False,
+    spec: OramSpec = PLB_SPEC,
+    access_bytes: int = 8,
+) -> PlbPoint:
+    """Replay one synthetic trace through the chain at one PLB capacity.
+
+    The trace comes from the named :mod:`~repro.workloads.synthetic`
+    generator and — like the super-block sweep — its seed deliberately
+    excludes the capacity and layout knobs: every point of a sweep replays
+    the identical address stream, so deltas measure the cache, not trace
+    noise.  Logical results are independent of the capacity (the PLB only
+    shrinks the physical op sequence); the returned counters quantify the
+    shrinkage.
+    """
+    from repro.workloads.synthetic import synthetic_trace
+
+    point_spec = spec.with_updates(
+        plb_entries_per_level=entries_per_level,
+        compressed_position_map=compressed,
+    )
+    oram = build_oram(point_spec, hierarchy, rng=random.Random(seed))
+    working_set = hierarchy.data_oram.working_set_blocks
+    trace = synthetic_trace(
+        trace_kind,
+        num_accesses,
+        working_set * access_bytes,
+        seed=derive_seed(seed, ("plb-sweep", trace_kind)),
+    )
+    addresses = [
+        (record.address // access_bytes) % working_set + 1 for record in trace
+    ]
+    oram.access_many(addresses)
+    pm_stats = [pm.stats for pm in oram.orams[1:]]
+    return PlbPoint(
+        trace_kind=trace_kind,
+        entries_per_level=entries_per_level,
+        compressed=compressed,
+        num_orams=oram.num_orams,
+        accesses=oram.stats.real_accesses,
+        pm_ops=sum(stats.real_accesses for stats in pm_stats),
+        plb_hits=sum(stats.plb_hits for stats in pm_stats),
+        plb_misses=sum(stats.plb_misses for stats in pm_stats),
+        coalesced_ops=sum(stats.coalesced_ops for stats in pm_stats),
+    )
+
+
+def sweep_plb_capacities(
+    hierarchy,
+    num_accesses: int,
+    trace_kinds: tuple[str, ...] = ("sequential", "pointer_chase"),
+    capacities: tuple[int, ...] = PLB_CAPACITIES,
+    compressed: tuple[bool, ...] = (False,),
+    seed: int = 0,
+    spec: OramSpec = PLB_SPEC,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[PlbPoint]:
+    """Hit rate and PM-ops-saved versus PLB capacity over synthetic traces.
+
+    Points come back in ``(trace_kind, compressed, capacity)`` grid order,
+    computed through the experiment runner — ``executor="process"`` is
+    bit-identical to serial, and ``executor="fleet"`` rides the transparent
+    process fallback (hierarchical specs are not fleet-eligible), so all
+    three executors agree.
+    """
+    specs = [
+        ExperimentSpec(
+            key=("plb", trace_kind, layout, capacity),
+            fn=measure_plb_point,
+            kwargs={
+                "hierarchy": hierarchy,
+                "entries_per_level": capacity,
+                "num_accesses": num_accesses,
+                "trace_kind": trace_kind,
+                "compressed": layout,
+                "spec": spec,
+            },
+            seed=seed,
+        )
+        for trace_kind in trace_kinds
+        for layout in compressed
+        for capacity in capacities
+    ]
+    runner = ExperimentRunner(
+        executor=executor, max_workers=max_workers, progress=progress
+    )
+    return runner.run_values(specs)
+
+
 # ----------------------------------------------------------------------
 # Fleet adapters: the measurement loops as batched-engine programs
 # ----------------------------------------------------------------------

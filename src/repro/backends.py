@@ -112,7 +112,24 @@ class OramSpec:
         :class:`~repro.core.hierarchical.HierarchicalPathORAM`).  A pure
         throughput lever for trace replays — logical results are
         unchanged, the physical op sequence is not, so analyses of the
-        physical access pattern should leave it off.
+        physical access pattern should leave it off.  Sugar for a
+        capacity-1 ``plb_entries_per_level`` since the PLB landed.
+    plb_entries_per_level:
+        Hierarchical protocol only: capacity (position-map blocks per
+        chain level) of the PosMap Lookaside Buffer, the Freecursive-style
+        generalisation of ``coalesce_position_ops`` to a real multi-entry
+        LRU label cache (see :class:`~repro.core.plb.PosMapLookaside`).
+        Serves the looped ``access`` path and ``access_many`` alike; 0
+        disables it.  Unlike coalescing it composes with
+        ``dynamic_super_blocks`` — the chain's cached labels are kept
+        coherent with cohort moves through explicit invalidation hooks.
+    compressed_position_map:
+        Hierarchical protocol only: pack position-map blocks with the
+        Freecursive compressed layout (one base label plus half-width
+        per-child offsets), roughly doubling
+        ``labels_per_position_block`` and shrinking the recursion depth
+        (see :class:`~repro.core.config.HierarchyConfig`).  Applied to the
+        hierarchy configuration at build time.
     columnar_min_slots:
         ``numpy-flat`` stack only: an ORAM whose tree has fewer than this
         many block slots falls back to the list-backed
@@ -143,6 +160,8 @@ class OramSpec:
     record_path_trace: bool = False
     livelock_limit: int = 100_000
     coalesce_position_ops: bool = False
+    plb_entries_per_level: int = 0
+    compressed_position_map: bool = False
     columnar_min_slots: int = 0
     dynamic_super_blocks: bool = False
     super_block_window: int = 512
@@ -179,6 +198,20 @@ class OramSpec:
         if self.protocol == "flat" and self.coalesce_position_ops:
             raise ConfigurationError(
                 "coalesce_position_ops batches position-map path ops; the "
+                "flat protocol has no position-map chain (use "
+                "protocol='hierarchical')"
+            )
+        if self.plb_entries_per_level < 0:
+            raise ConfigurationError("plb_entries_per_level must be >= 0")
+        if self.protocol == "flat" and self.plb_entries_per_level:
+            raise ConfigurationError(
+                "plb_entries_per_level caches position-map blocks; the flat "
+                "protocol has no position-map chain (use "
+                "protocol='hierarchical')"
+            )
+        if self.protocol == "flat" and self.compressed_position_map:
+            raise ConfigurationError(
+                "compressed_position_map packs position-map blocks; the "
                 "flat protocol has no position-map chain (use "
                 "protocol='hierarchical')"
             )
@@ -437,6 +470,8 @@ def build_oram(
             "hierarchical protocol takes a HierarchyConfig; "
             "wrap the data ORAMConfig in one (or use protocol='flat')"
         )
+    if spec.compressed_position_map and not config.compressed_position_map:
+        config = replace(config, compressed_position_map=True)
     return HierarchicalPathORAM(
         config,
         rng=rng,
@@ -444,6 +479,7 @@ def build_oram(
         record_path_trace=spec.record_path_trace,
         livelock_limit=spec.livelock_limit,
         coalesce_position_ops=spec.coalesce_position_ops,
+        plb_entries_per_level=spec.plb_entries_per_level,
         data_super_block_mapper=_super_block_mapper(spec, config.data_oram),
     )
 

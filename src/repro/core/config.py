@@ -284,6 +284,17 @@ class HierarchyConfig:
         bytes of on-chip storage (200 KB in the paper).
     position_map_encryption:
         Encryption scheme for position-map ORAMs.
+    compressed_position_map:
+        Pack the Freecursive-style compressed label layout into each
+        position-map block: instead of ``k`` independent ``L_child``-bit
+        leaf labels, the block stores one shared base label plus per-child
+        offsets of roughly half the bits, so about twice as many children
+        fit per block and the recursive chain gets shallower.  The
+        functional simulation keeps exact integer labels either way (the
+        compression is a *geometry* model, like ``encryption="none"``
+        blocks being sized as if counter-encrypted); only the derived
+        ``labels_per_position_block`` fan-out — and with it chain depth —
+        changes.
     name:
         Optional label used in reports.
     """
@@ -295,6 +306,7 @@ class HierarchyConfig:
     position_map_utilization: float = 0.5
     onchip_position_map_limit_bytes: int = 200 * 1024
     position_map_encryption: EncryptionScheme = "counter"
+    compressed_position_map: bool = False
     name: str = ""
     _max_orams: int = field(default=16, repr=False)
 
@@ -307,9 +319,21 @@ class HierarchyConfig:
             raise ConfigurationError("onchip_position_map_limit_bytes must be >= 1")
 
     def labels_per_position_block(self, child: ORAMConfig) -> int:
-        """How many leaf labels of ``child`` fit in one position-map block,
-        ``k = floor(B_pmap / L_child)``."""
-        k = (self.position_map_block_bytes * 8) // child.leaf_bits
+        """How many leaf labels of ``child`` fit in one position-map block.
+
+        Uncompressed: ``k = floor(B_pmap / L_child)``.  With
+        ``compressed_position_map`` the block instead holds one full
+        ``L_child``-bit base label plus ``ceil(L_child / 2)``-bit offsets
+        (the Freecursive compressed-PosMap layout), so
+        ``k = 1 + floor((B_pmap - L_child) / ceil(L_child / 2))`` children
+        pack per block when that beats the plain layout.
+        """
+        block_bits = self.position_map_block_bytes * 8
+        k = block_bits // child.leaf_bits
+        if self.compressed_position_map:
+            offset_bits = (child.leaf_bits + 1) // 2
+            if block_bits > child.leaf_bits:
+                k = max(k, 1 + (block_bits - child.leaf_bits) // offset_bits)
         if k < 1:
             raise ConfigurationError(
                 "position-map block size too small to hold a single leaf label "

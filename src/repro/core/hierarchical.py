@@ -29,6 +29,7 @@ from typing import Any, Callable
 from repro.core.background_eviction import NoEviction
 from repro.core.config import HierarchyConfig, ORAMConfig
 from repro.core.path_oram import PathORAM
+from repro.core.plb import PosMapLookaside
 from repro.core.position_map import PositionMap
 from repro.core.stats import AccessStats
 from repro.core.super_block import DynamicSuperBlockMapper, SuperBlockMapper
@@ -73,16 +74,33 @@ class HierarchicalPathORAM:
     livelock_limit:
         Safety cap on dummy rounds per eviction trigger.
     coalesce_position_ops:
-        When True, :meth:`access_many` serves consecutive trace accesses
-        that resolve through the same position-map block at a level from
-        one fused path operation: the first access reads the block in and
-        later accesses retarget their labels in the read-in block directly
-        instead of issuing one path op per level per access.  Results
-        (found blocks, payloads, the position-map chain's consistency) are
-        unchanged; the *physical* access sequence shrinks, so per-ORAM
-        ``stats.path_reads`` drop and ``stats.coalesced_ops`` counts the
-        ops saved.  Off by default because the physical trace differs from
-        the per-access protocol (the differential suites pin that shape).
+        When True, chain accesses that resolve through the most recently
+        operated position-map block at a level are served from that block
+        directly instead of issuing one path op per level per access.
+        Results (found blocks, payloads, the position-map chain's
+        consistency) are unchanged; the *physical* access sequence
+        shrinks, so per-ORAM ``stats.path_reads`` drop and
+        ``stats.coalesced_ops`` counts the ops saved.  Off by default
+        because the physical trace differs from the per-access protocol
+        (the differential suites pin that shape).  Since the PLB landed
+        this flag is sugar for a capacity-1 lookaside buffer (see below).
+    plb_entries_per_level:
+        Capacity, in position-map blocks per chain level, of the PosMap
+        Lookaside Buffer (:class:`~repro.core.plb.PosMapLookaside`, the
+        Freecursive-style generalisation of ``coalesce_position_ops``).
+        Every physical position-map path op installs its block's live
+        label list; a later access whose chain passes through a cached
+        block is served at that level — and every level above is skipped
+        entirely — with no extra RNG draws (fresh leaves are drawn up
+        front either way, so the stream matches the PLB-off run).  ``0``
+        (the default) disables the buffer unless ``coalesce_position_ops``
+        requests its capacity-1 degenerate form, which reproduces the
+        PR 4 single-op memo bit for bit.  The buffer engages only when
+        every position-map ORAM runs a fused (in-place label mutation)
+        path op — on generic list/encrypted stacks it stays inert, like
+        coalescing always has.  Hits count ``stats.plb_hits`` (on the ORAM
+        that served the hit) and ``stats.coalesced_ops`` (on every skipped
+        level); physical ops behind a lookup count ``stats.plb_misses``.
     """
 
     def __init__(
@@ -93,8 +111,11 @@ class HierarchicalPathORAM:
         record_path_trace: bool = False,
         livelock_limit: int = 100_000,
         coalesce_position_ops: bool = False,
+        plb_entries_per_level: int = 0,
         data_super_block_mapper: SuperBlockMapper | None = None,
     ) -> None:
+        if plb_entries_per_level < 0:
+            raise ConfigurationError("plb_entries_per_level must be >= 0")
         self._hierarchy = hierarchy
         self._rng = rng if rng is not None else random.Random()
         self._configs = hierarchy.oram_configs
@@ -159,6 +180,46 @@ class HierarchicalPathORAM:
         self._onchip_leaves = self._onchip_position_map.leaves
         self._pending_data_leaf = 0
         self._coalesce = coalesce_position_ops
+        # PosMap Lookaside Buffer: coalesce_position_ops is its capacity-1
+        # degenerate form, so the two knobs share one engine.  The buffer
+        # only engages when every position-map level has a fused path op
+        # (in-place label mutation keeps cached references live); on
+        # generic stacks it stays allocated-but-inert, mirroring how
+        # coalescing has always silently no-opped there.
+        self._plb_entries = plb_entries_per_level
+        capacity = max(plb_entries_per_level, 1 if coalesce_position_ops else 0)
+        self._plb: PosMapLookaside | None = (
+            PosMapLookaside(len(self._configs), capacity)
+            if capacity and len(self._configs) > 1
+            else None
+        )
+        self._plb_active = self._plb is not None and all(
+            _fused_op(oram) is not None for oram in self._orams[1:]
+        )
+        if self._plb_active:
+            plb = self._plb
+            for level, oram in enumerate(self._orams[1:], start=1):
+
+                def _observe(address, labels, _level=level, _plb=plb):
+                    # access_position_block coherence hook: a fused op hands
+                    # over the block's live label list (install/refresh); a
+                    # re-materialising op hands None (drop any stale ref).
+                    if labels is None:
+                        _plb.invalidate(_level, address)
+                    else:
+                        _plb.install(_level, address, labels)
+
+                oram._position_block_observer = _observe  # noqa: SLF001
+            if self._dynamic_data and self._labels_per_block:
+                k = self._labels_per_block[0]
+
+                def _retarget(lo, hi, _plb=plb, _k=k):
+                    # A dynamic cohort move re-leafed [lo, hi) behind the
+                    # chain's back: drop every level-1 position-map block
+                    # covering the span before a stale label can be served.
+                    _plb.invalidate_range(1, (lo - 1) // _k + 1, (hi - 2) // _k + 1)
+
+                self._orams[0]._retarget_observer = _retarget  # noqa: SLF001
         self._eviction_order = tuple(reversed(self._orams))
         self._thresholded_orams = tuple(
             (oram, oram.eviction_threshold)
@@ -200,6 +261,28 @@ class HierarchicalPathORAM:
         """Whether :meth:`access_many` coalesces position-map path ops."""
         return self._coalesce
 
+    @property
+    def plb(self) -> PosMapLookaside | None:
+        """The PosMap Lookaside Buffer (None when disabled).
+
+        Allocated whenever ``plb_entries_per_level`` or the legacy
+        ``coalesce_position_ops`` knob requests capacity; *served* only
+        when every position-map level runs a fused path op (see
+        :attr:`plb_active`).
+        """
+        return self._plb
+
+    @property
+    def plb_active(self) -> bool:
+        """Whether chain walks are actually served from the PLB."""
+        return self._plb_active
+
+    @property
+    def plb_entries_per_level(self) -> int:
+        """The requested PLB capacity (0 = legacy/off; the effective
+        capacity of :attr:`plb` also counts ``coalesce_position_ops``)."""
+        return self._plb_entries
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -220,6 +303,7 @@ class HierarchicalPathORAM:
             result = self._orams[0].access_dynamic_path(
                 address, self._pending_data_leaf, op, data
             )
+            self._plb_dynamic_recheck(address)
         else:
             result = self._orams[0].access_path(
                 address, current_leaf, self._pending_data_leaf, op, data
@@ -251,11 +335,13 @@ class HierarchicalPathORAM:
         sizes directly — the dummy-round machinery is only entered when a
         stash is actually over its threshold.
 
-        With ``coalesce_position_ops`` the loop additionally skips every
-        position-map path operation whose block is still the one most
-        recently read at that level: the consecutive accesses share the
-        fused path op that read the block in, and only retarget their
-        labels inside it (see the constructor's parameter description).
+        With the PosMap Lookaside Buffer (``plb_entries_per_level``, or
+        its capacity-1 ``coalesce_position_ops`` form) the loop
+        additionally skips every position-map path operation whose block
+        is still in the per-level label cache: the access that physically
+        read the block in shares its fused path op with every later access
+        that resolves through it, which only retargets its label inside
+        the cached block (see the constructor's parameter descriptions).
         Logical results are unchanged; the physical op sequence is not.
         """
         orams = self._orams
@@ -291,19 +377,30 @@ class HierarchicalPathORAM:
             d_working_set = data_oram._working_set  # noqa: SLF001
             d_create = data_oram._create_on_miss  # noqa: SLF001
             is_write = op is Operation.WRITE
-            # Coalescing state: per position-map ORAM, the block address of
-            # the last *physical* path op and a live reference to that
-            # block's label vector (payloads ride by reference through the
-            # flat slot array and the NumPy object column alike, so
-            # retargeting the list retargets the read-in block wherever it
-            # currently rests — tree or stash).
-            coalesce = self._coalesce and outer_index > 0
-            last_block = [0] * (outer_index + 1)
-            last_labels: list[list[int] | None] = [None] * (outer_index + 1)
-            coalesced_counts = [0] * (outer_index + 1)
+            # Lookaside state: per position-map ORAM, the PLB's dict of
+            # recently operated block addresses mapped to live references
+            # to their label vectors (payloads ride by reference through
+            # the flat slot array and the NumPy object column alike, so
+            # retargeting a cached list retargets the read-in block
+            # wherever it currently rests — tree or stash).  The dict ops
+            # are inlined below; per-level hit/miss/coalesced counts are
+            # deferred like the real-access counters and flushed once.
+            plb = self._plb if self._plb_active else None
+            lookaside = plb is not None and outer_index > 0
+            if lookaside:
+                plb_levels = plb.levels
+                plb_capacity = plb.entries_per_level
+                coalesced_counts = [0] * (outer_index + 1)
+                plb_hit_counts = [0] * (outer_index + 1)
+                plb_miss_counts = [0] * (outer_index + 1)
         else:
-            coalesce = False
-            pm_access = [oram.access_position_block for oram in orams]
+            lookaside = False
+            walk_chain = self._walk_position_chain
+            dynamic_recheck = (
+                self._plb_dynamic_recheck
+                if self._dynamic_data and self._plb_active
+                else None
+            )
             if self._dynamic_data:
                 dynamic_access = data_oram.access_dynamic_path
 
@@ -343,35 +440,40 @@ class HierarchicalPathORAM:
                     current_leaf = onchip[group]
                     onchip[group] = new_leaves[0]
                 elif all_fused:
-                    # Deepest chain entry still served by the block of the
-                    # last physical op at its level.  Matching entries form
-                    # a suffix of the chain: a level-k match implies the
-                    # level-k+1 blocks agree, because whichever access last
-                    # really walked level k+1 also walked level k (real ops
-                    # always cover a bottom segment of the chain).
+                    # Deepest chain entry whose position-map block is still
+                    # in the lookaside buffer at its level.  A hit is safe
+                    # wherever it lands: serving it leaves the cached block
+                    # unmoved (no read, no remap), so the label for it one
+                    # level up stays accurate and every level above can be
+                    # skipped outright.  Scan inner-to-outer; the first hit
+                    # wins because it skips the most ops.
                     divergence = 0
-                    if coalesce:
-                        while (
-                            divergence < outer_index
-                            and chain[divergence][0] != last_block[divergence + 1]
-                        ):
+                    if lookaside:
+                        while divergence < outer_index:
+                            level_cache = plb_levels[divergence + 1]
+                            hit_labels = level_cache.get(chain[divergence][0])
+                            if hit_labels is not None:
+                                break
                             divergence += 1
                     else:
                         divergence = outer_index
                     if divergence < outer_index:
                         # Ops above the boundary touch nothing: their
                         # blocks do not move and their labels still point
-                        # at the (unmoved) shared sub-chain.
+                        # at the (unmoved) cached block's sub-chain.
                         for oram_index in range(divergence + 2, outer_index + 1):
                             coalesced_counts[oram_index] += 1
-                        # Boundary op: retarget this access's label inside
-                        # the read-in block instead of a fresh path op.
+                        # Boundary hit: retarget this access's label inside
+                        # the cached block instead of a fresh path op, and
+                        # MRU-promote the served entry.
                         boundary = divergence + 1
-                        labels = last_labels[boundary]
                         block_address, slot = chain[divergence]
-                        current_leaf = labels[slot]
-                        labels[slot] = new_leaves[divergence]
+                        current_leaf = hit_labels[slot]
+                        hit_labels[slot] = new_leaves[divergence]
+                        del level_cache[block_address]
+                        level_cache[block_address] = hit_labels
                         coalesced_counts[boundary] += 1
+                        plb_hit_counts[boundary] += 1
                     else:
                         outer_group = chain[-1][0] - 1
                         current_leaf = onchip[outer_group]
@@ -392,29 +494,23 @@ class HierarchicalPathORAM:
                             labels_per_block[child_index],
                             child_num_leaves[child_index],
                         )
-                        if coalesce:
-                            last_block[oram_index] = block_address
-                            last_labels[oram_index] = labels
+                        if lookaside:
+                            # This level's lookup missed; install the op's
+                            # live label list (MRU), evicting the oldest
+                            # entry past capacity.
+                            level_cache = plb_levels[oram_index]
+                            if block_address in level_cache:
+                                del level_cache[block_address]
+                            elif len(level_cache) >= plb_capacity:
+                                del level_cache[next(iter(level_cache))]
+                            level_cache[block_address] = labels
+                            plb_miss_counts[oram_index] += 1
                         real_counts[oram_index] += 1
                         sampler = occ_samplers[oram_index]
                         if sampler is not None:
                             sampler[0](len(sampler[1]))
                 else:
-                    outer_group = chain[-1][0] - 1
-                    current_leaf = onchip[outer_group]
-                    onchip[outer_group] = new_leaves[outer_index]
-                    for oram_index in range(outer_index, 0, -1):
-                        child_index = oram_index - 1
-                        block_address, slot = chain[child_index]
-                        current_leaf = pm_access[oram_index](
-                            block_address,
-                            current_leaf,
-                            new_leaves[oram_index],
-                            slot,
-                            new_leaves[child_index],
-                            labels_per_block[child_index],
-                            child_num_leaves[child_index],
-                        )
+                    current_leaf = walk_chain(chain, new_leaves)
                 if all_fused:
                     # Inlined data-ORAM step (access_fixed_leaf minus the
                     # wrapper: same validation, deferred stat counters).
@@ -436,6 +532,8 @@ class HierarchicalPathORAM:
                 else:
                     result = data_access(address, current_leaf, new_leaves[0], op, data)
                     found_count += result.found
+                    if dynamic_recheck is not None:
+                        dynamic_recheck(address)
                 real += 1
                 for threshold, stash_blocks in thresholded:
                     if len(stash_blocks) > threshold:
@@ -446,11 +544,23 @@ class HierarchicalPathORAM:
             if all_fused:
                 for oram_stat, count in zip(oram_stats, real_counts):
                     oram_stat.real_accesses += count
-                if coalesce:
+                if lookaside:
+                    hits_total = misses_total = 0
                     for oram_index in range(1, outer_index + 1):
+                        oram_stat = oram_stats[oram_index]
                         count = coalesced_counts[oram_index]
                         if count:
-                            oram_stats[oram_index].coalesced_ops += count
+                            oram_stat.coalesced_ops += count
+                        hits = plb_hit_counts[oram_index]
+                        if hits:
+                            oram_stat.plb_hits += hits
+                            hits_total += hits
+                        misses = plb_miss_counts[oram_index]
+                        if misses:
+                            oram_stat.plb_misses += misses
+                            misses_total += misses
+                    plb.hits += hits_total
+                    plb.misses += misses_total
         return TraceResult(accesses=real, found=found_count, dummy_accesses=rounds_total)
 
     def extract(self, address: int) -> dict[int, Any]:
@@ -470,6 +580,7 @@ class HierarchicalPathORAM:
             extracted = self._orams[0].extract_dynamic_path(
                 address, self._pending_data_leaf
             )
+            self._plb_dynamic_recheck(address)
         else:
             extracted = self._orams[0].extract_path(
                 address, current_leaf, self._pending_data_leaf
@@ -538,20 +649,66 @@ class HierarchicalPathORAM:
             onchip[group] = new_leaves[0]
             return current
 
-        # The outermost position-map ORAM's own leaf comes from the on-chip
-        # map (position-map ORAMs always use single-member groups, so the
-        # group id is just the block address less one).
-        outer_index = len(self._configs) - 1
-        onchip = self._onchip_leaves
-        outer_group = chain[-1][0] - 1
-        current_leaf = onchip[outer_group]
-        onchip[outer_group] = new_leaves[outer_index]
+        return self._walk_position_chain(chain, new_leaves)
 
-        # Walk from the outermost position-map ORAM inwards to ORAM_2.
+    def _walk_position_chain(
+        self, chain: tuple[tuple[int, int], ...], new_leaves: list[int]
+    ) -> int:
+        """One position-map chain walk, outermost-first, PLB-served.
+
+        The shared walk behind the looped :meth:`access` path and the
+        non-fused :meth:`access_many` branch (the fully-fused branch
+        inlines the same logic with deferred counters).  When the PosMap
+        Lookaside Buffer is active, the deepest chain entry whose block is
+        cached is served in place of its path op — and every level above
+        it is skipped — exactly as in the fused loop; physical ops install
+        their blocks through :meth:`PathORAM.access_position_block`'s
+        observer hook.  ``new_leaves`` must already hold this access's
+        fresh leaf for every level (they are drawn up front either way, so
+        a hit consumes no extra randomness).
+        """
         orams = self._orams
+        outer_index = len(self._configs) - 1
+        plb = self._plb if self._plb_active else None
+        divergence = outer_index
+        if plb is not None:
+            plb_levels = plb.levels
+            divergence = 0
+            while divergence < outer_index:
+                level_cache = plb_levels[divergence + 1]
+                hit_labels = level_cache.get(chain[divergence][0])
+                if hit_labels is not None:
+                    break
+                divergence += 1
+        if divergence < outer_index:
+            # Boundary hit: serve this access's label from the cached
+            # block (MRU-promoting it); the levels above are skipped.
+            boundary = divergence + 1
+            block_address, slot = chain[divergence]
+            current_leaf = hit_labels[slot]
+            hit_labels[slot] = new_leaves[divergence]
+            del level_cache[block_address]
+            level_cache[block_address] = hit_labels
+            plb.hits += 1
+            boundary_stats = orams[boundary].stats
+            boundary_stats.plb_hits += 1
+            boundary_stats.coalesced_ops += 1
+            for oram_index in range(divergence + 2, outer_index + 1):
+                orams[oram_index].stats.coalesced_ops += 1
+        else:
+            # The outermost position-map ORAM's own leaf comes from the
+            # on-chip map (position-map ORAMs always use single-member
+            # groups, so the group id is just the block address less one).
+            onchip = self._onchip_leaves
+            outer_group = chain[-1][0] - 1
+            current_leaf = onchip[outer_group]
+            onchip[outer_group] = new_leaves[outer_index]
+
+        # Walk from the boundary (or the outermost ORAM) inwards to ORAM_2;
+        # each physical op's observer installs its block into the PLB.
         labels_per_block = self._labels_per_block
         child_num_leaves = self._child_num_leaves
-        for oram_index in range(outer_index, 0, -1):
+        for oram_index in range(divergence, 0, -1):
             child_index = oram_index - 1
             block_address, slot = chain[child_index]
             current_leaf = orams[oram_index].access_position_block(
@@ -563,7 +720,27 @@ class HierarchicalPathORAM:
                 labels_per_block[child_index],
                 child_num_leaves[child_index],
             )
+            if plb is not None:
+                plb.misses += 1
+                orams[oram_index].stats.plb_misses += 1
         return current_leaf
+
+    def _plb_dynamic_recheck(self, address: int) -> None:
+        """Post-data-access coherence check under dynamic super blocks.
+
+        The chain walk installed ``new_leaves[0]`` as ``address``'s label,
+        but the dynamic plan may have kept the block on its cohort's
+        anchor leaf instead (no cohort *move*, so the retarget observer
+        never fired).  If the data ORAM's authoritative mirror disagrees
+        with what the chain installed, the level-1 position-map block
+        covering ``address`` now holds a stale label — drop it from the
+        PLB before it can be served.
+        """
+        if not self._plb_active or not self._labels_per_block:
+            return
+        if self._orams[0]._pm_leaves[address - 1] != self._new_leaves[0]:  # noqa: SLF001
+            k = self._labels_per_block[0]
+            self._plb.invalidate(1, self._data_group_of(address) // k + 1)
 
     def _run_background_eviction(self) -> int:
         """Issue dummy rounds until every stash is below its threshold."""

@@ -125,11 +125,6 @@ class FleetMember:
         "row_base",
         "bucket_base",
         "acc_real",
-        "acc_ops",
-        "acc_blocks_read",
-        "acc_blocks_written",
-        "acc_occ",
-        "acc_peak",
         "value",
         "error",
         "seconds",
@@ -175,13 +170,9 @@ class FleetMember:
         self.slot = 0
         self.row_base = 0
         self.bucket_base = 0
-        # Deferred fast-path statistics (flushed before any observer runs).
+        # Deferred scalar-fallback access count (flushed with the engine's
+        # tensor accumulators before any observer runs).
         self.acc_real = 0
-        self.acc_ops = 0
-        self.acc_blocks_read = 0
-        self.acc_blocks_written = 0
-        self.acc_occ = 0
-        self.acc_peak = 0
         # Outcome.
         self.value: Any = None
         self.error: str | None = None
@@ -304,14 +295,25 @@ class FleetEngine:
         skip_v = np.fromiter((m.evict_skip for m in self._members), dtype=bool, count=n)
         self._skip_v = skip_v
         self._all_skip = bool(skip_v.all())
-        self._acc_real = np.zeros(n, dtype=np.int64)
-        self._acc_ops = np.zeros(n, dtype=np.int64)
+        self._any_rec = bool(self._rec_v.any())
+        # Fused fast-path accumulators: every per-step counter the serial
+        # loop keeps is derivable from three sums — the fast-access count
+        # (real accesses == path ops), the live-block sum (blocks read;
+        # blocks written adds the miss count) and the miss count (storage
+        # occupancy delta, write surplus, and the stash high-water flag) —
+        # plus the occupancy-sample count and the running peak.  _flush
+        # derives the full counter set from these.
+        self._acc_fast = np.zeros(n, dtype=np.int64)
         self._acc_br = np.zeros(n, dtype=np.int64)
-        self._acc_bw = np.zeros(n, dtype=np.int64)
-        self._acc_occ = np.zeros(n, dtype=np.int64)
+        self._acc_miss = np.zeros(n, dtype=np.int64)
         self._acc_peak = np.zeros(n, dtype=np.int64)
         self._acc_samples = np.zeros(n, dtype=np.int64)
-        self._miss_flag = np.zeros(n, dtype=bool)
+        # Batch-constant gather cache: consecutive steps usually carry the
+        # identical member list, so the slot gather and row bases are
+        # reused until membership changes.
+        self._last_batch: list[FleetMember] = []
+        self._last_slot_v = self._rk[:0]
+        self._last_row_base = self._rk[:0]
 
         self._should_abort = should_abort
         self._on_retire = on_retire
@@ -405,8 +407,15 @@ class FleetEngine:
         leaf_v = np.array(leaf_l, dtype=np.int64)
         addr_v = np.array(addr_l, dtype=np.int64)
         nl_v = np.array(nl_l, dtype=np.int64)
-        slot_v = np.fromiter((m.slot for m in batch), dtype=np.int64, count=k)
-        row_base = slot_v * self._rows_per
+        if batch == self._last_batch:
+            slot_v = self._last_slot_v
+            row_base = self._last_row_base
+        else:
+            slot_v = np.fromiter((m.slot for m in batch), dtype=np.int64, count=k)
+            row_base = slot_v * self._rows_per
+            self._last_batch = list(batch)
+            self._last_slot_v = slot_v
+            self._last_row_base = row_base
 
         # Root-first path buckets: tree.path_indices in closed form.  The
         # leaf's heap node is num_leaves - 1 + leaf; in 1-based heap
@@ -576,24 +585,24 @@ class FleetEngine:
             self._counts_flat[cbase_f[:, None] + buckets_f] = takes_f
 
             # ---- vectorised bookkeeping (deferred statistics) ----
-            # One scatter per counter into the slot-indexed accumulators
-            # (batch slots are unique, so fancy in-place ops are exact);
-            # _flush folds them into the member's stats.  A created block
-            # passes through the stash, so the occupancy high-water mark
-            # must see it (deferred through _miss_flag: a monotone max, so
-            # applying it at flush time is order-independent).  Fast-path
-            # occupancy samples are always 0 (the fast path requires an
-            # empty stash) — only their count is deferred.
+            # The fused accumulators: one scatter each for the fast-access
+            # count, the live-block sum and the miss count (batch slots are
+            # unique, so fancy in-place ops are exact); every serial-loop
+            # counter is derived from these at _flush time.  A created
+            # block passes through the stash, so the occupancy high-water
+            # mark must see it (derived from the miss count: a monotone
+            # flag, so applying it at flush time is order-independent).
+            # Fast-path occupancy samples are always 0 (the fast path
+            # requires an empty stash) — only their count is deferred, and
+            # only when some member records occupancy at all.
             slots_f = slot_v[fr]
             live_f = live[fr]
             miss_f = miss_c[fr]
-            self._acc_real[slots_f] += 1
-            self._acc_ops[slots_f] += 1
+            self._acc_fast[slots_f] += 1
             self._acc_br[slots_f] += live_f
-            self._acc_bw[slots_f] += live_f + miss_f
-            self._acc_occ[slots_f] += miss_f
-            self._miss_flag[slots_f] |= miss_f
-            self._acc_samples[slots_f] += self._rec_v[slots_f]
+            self._acc_miss[slots_f] += miss_f
+            if self._any_rec:
+                self._acc_samples[slots_f] += self._rec_v[slots_f]
             self._acc_peak[slots_f] = np.maximum(self._acc_peak[slots_f], live_f)
             if not self._all_skip:
                 for i in fr[~self._skip_v[slots_f]].tolist():
@@ -721,49 +730,45 @@ class FleetEngine:
             self._acc_samples[slot] = 0
 
     def _flush(self, member: FleetMember) -> None:
-        """Fold the deferred fast-path counters into the member's stats."""
+        """Fold the deferred fast-path counters into the member's stats.
+
+        The full serial counter set is derived from the three fused sums:
+        fast accesses (one path read + one path write each), live blocks
+        (blocks read) and misses (write surplus, storage occupancy delta,
+        and the stash high-water flag for created blocks).
+        """
         stats = member.stats
         slot = member.slot
-        real = member.acc_real + int(self._acc_real[slot])
+        fast = int(self._acc_fast[slot])
+        real = member.acc_real + fast
         if real:
             stats.real_accesses += real
             member.acc_real = 0
-            self._acc_real[slot] = 0
-        ops = member.acc_ops + int(self._acc_ops[slot])
-        if ops:
-            stats.path_reads += ops
-            stats.path_writes += ops
-            stats.blocks_read += member.acc_blocks_read + int(self._acc_br[slot])
-            stats.blocks_written += member.acc_blocks_written + int(self._acc_bw[slot])
-            member.storage._occupancy += member.acc_occ + int(  # noqa: SLF001
-                self._acc_occ[slot]
-            )
-            member.acc_ops = 0
-            member.acc_blocks_read = 0
-            member.acc_blocks_written = 0
-            member.acc_occ = 0
-            self._acc_ops[slot] = 0
+        if fast:
+            miss = int(self._acc_miss[slot])
+            live = int(self._acc_br[slot])
+            stats.path_reads += fast
+            stats.path_writes += fast
+            stats.blocks_read += live
+            stats.blocks_written += live + miss
+            self._acc_fast[slot] = 0
             self._acc_br[slot] = 0
-            self._acc_bw[slot] = 0
-            self._acc_occ[slot] = 0
-        peak = member.acc_peak
-        engine_peak = int(self._acc_peak[slot])
-        if engine_peak > peak:
-            peak = engine_peak
+            if miss:
+                member.storage._occupancy += miss  # noqa: SLF001
+                self._acc_miss[slot] = 0
+                stash = member.stash_obj
+                # Created blocks passed through the stash; the occupancy
+                # high-water mark must see them (monotone, so deferral is
+                # safe).
+                if stash._max_occupancy < 1:  # noqa: SLF001
+                    stash._max_occupancy = 1  # noqa: SLF001
+        peak = int(self._acc_peak[slot])
         if peak:
             oram = member.oram
             if peak > oram._transient_peak:  # noqa: SLF001
                 oram._transient_peak = peak  # noqa: SLF001
-            member.acc_peak = 0
             self._acc_peak[slot] = 0
         self._flush_samples(member)
-        if self._miss_flag[slot]:
-            self._miss_flag[slot] = False
-            stash = member.stash_obj
-            # The created block passed through the stash; the occupancy
-            # high-water mark must see it (monotone, so deferral is safe).
-            if stash._max_occupancy < 1:  # noqa: SLF001
-                stash._max_occupancy = 1  # noqa: SLF001
 
     def _retire_value(self, member: FleetMember, abort_reason: Any) -> None:
         self._flush(member)

@@ -235,6 +235,16 @@ class PathORAM:
             from repro.core.numpy_engine import ColumnEngine
 
             self._column_engine = ColumnEngine.for_oram(self)
+        # PLB coherence hooks, set by HierarchicalPathORAM when a PosMap
+        # Lookaside Buffer caches this ORAM's blocks (see repro.core.plb).
+        # _position_block_observer(address, labels) fires at the end of
+        # every access_position_block with the block's live label list
+        # (None when the op path re-materialises payloads, which severs the
+        # cached reference); _retarget_observer(lo, hi) fires whenever a
+        # dynamic super-block cohort move re-assigns the leaves of the
+        # address range [lo, hi) behind the position-map chain's back.
+        self._position_block_observer = None
+        self._retarget_observer = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -973,6 +983,12 @@ class PathORAM:
                     # the cohort now instead of on its own next access.
                     candidate.leaf = new_leaf
                     leaves[candidate_address - 1] = new_leaf
+            observer = self._retarget_observer
+            if observer is not None:
+                # The cohort move re-assigned leaves behind the recursive
+                # chain's back: the PLB must drop any cached position-map
+                # labels covering [lo, hi) before they can be served stale.
+                observer(lo, hi)
         leaves[address - 1] = new_leaf
 
         result_data = block.data if block is not None else None
@@ -1091,13 +1107,19 @@ class PathORAM:
             )
         self._pm_leaves[address - 1] = new_leaf
         stash = self._stash
+        # The live label list, when the op path mutates payloads in place
+        # (fused/slot mode) so a cached reference stays current.  The
+        # generic path below may re-materialise payloads on the next read
+        # (encrypted storage), so it reports None and the observer drops
+        # any cached entry instead of installing a doomed reference.
+        live_labels = None
         if self._classified_fast:
-            child_current_leaf, _ = self._fused_single_access(
+            child_current_leaf, live_labels = self._fused_single_access(
                 address, current_leaf, new_leaf, True, None, False,
                 slot, child_new_leaf, labels_per_block, child_num_leaves,
             )
         elif self._column_engine is not None:
-            child_current_leaf, _ = self._column_engine.fused_single_access(
+            child_current_leaf, live_labels = self._column_engine.fused_single_access(
                 address, current_leaf, new_leaf, True, None, False,
                 slot, child_new_leaf, labels_per_block, child_num_leaves,
             )
@@ -1137,6 +1159,9 @@ class PathORAM:
             else:
                 block.leaf = new_leaf  # buffer blocks are unindexed
             self._write_back_path(current_leaf)
+        observer = self._position_block_observer
+        if observer is not None:
+            observer(address, live_labels)
         stats = self._stats
         stats.real_accesses += 1
         if stats.record_occupancy:
@@ -1433,6 +1458,12 @@ class PathORAM:
         for member in found:
             leaves[member - 1] = new_leaf
         leaves[address - 1] = new_leaf
+        if new_leaf != old_leaf:
+            observer = self._retarget_observer
+            if observer is not None:
+                # Same coherence rule as _dynamic_path_op: the extracted
+                # cohort's members were re-leafed without a chain walk.
+                observer(lo, hi)
         if address not in found and self._create_on_miss:
             found[address] = None
         self._write_back_path(old_leaf)

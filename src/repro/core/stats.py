@@ -28,6 +28,14 @@ class AccessStats:
     #: position-map chain coalesced them into an earlier path op on the same
     #: block (see HierarchicalPathORAM's ``coalesce_position_ops``).
     coalesced_ops: int = 0
+    #: PosMap Lookaside Buffer outcomes (see :class:`~repro.core.plb.
+    #: PosMapLookaside`): a hit means this ORAM's path op for a recursive
+    #: position-map lookup was served from the cached label list (the op —
+    #: and every op above it in the chain — was skipped); a miss means the
+    #: lookup fell through to a physical path op.  The PR 4 single-entry
+    #: memo counts here too (it is the capacity-1 PLB).
+    plb_hits: int = 0
+    plb_misses: int = 0
     #: Dynamic super-block events (see
     #: :class:`~repro.core.super_block.DynamicSuperBlockMapper`): groups
     #: merged with their buddy, groups split back into halves, and accesses
@@ -85,6 +93,8 @@ class AccessStats:
         self.blocks_read += other.blocks_read
         self.blocks_written += other.blocks_written
         self.coalesced_ops += other.coalesced_ops
+        self.plb_hits += other.plb_hits
+        self.plb_misses += other.plb_misses
         self.super_block_merges += other.super_block_merges
         self.super_block_splits += other.super_block_splits
         self.super_block_hits += other.super_block_hits
@@ -99,6 +109,8 @@ class AccessStats:
         self.blocks_read = 0
         self.blocks_written = 0
         self.coalesced_ops = 0
+        self.plb_hits = 0
+        self.plb_misses = 0
         self.super_block_merges = 0
         self.super_block_splits = 0
         self.super_block_hits = 0
