@@ -1,0 +1,158 @@
+"""Checkpointing overhead benchmark: fault tolerance must stay near-free.
+
+Two costs are measured and recorded to ``BENCH_engine.json``:
+
+* the point cost of one :meth:`~repro.core.path_oram.PathORAM.snapshot` /
+  ``restore`` round-trip (the window-granularity save a long run pays), and
+* the end-to-end overhead of running a windowed experiment with a
+  per-window :class:`~repro.runner.checkpoint.CheckpointManager` versus the
+  same plan uncheckpointed, in alternating paired windows.
+
+The recorded ``speedup`` is ``checkpointed_rate / uncheckpointed_rate``;
+the committed floor of 0.9 in ``benchmarks/perf_floors.json`` is the
+"<10% overhead" acceptance target — checkpointing every completed window
+must never cost more than a tenth of the run it protects.  Both runs must
+produce identical per-window values (the checkpoint tests pin resume
+bit-exactness; this benchmark additionally asserts a resumed, fully
+cached replay returns the same values).
+"""
+
+import os
+import random
+import time
+
+from conftest import median_pair, perf_floor, record_perf, scaled  # noqa: E402
+
+from repro.backends import OramSpec, build_oram
+from repro.core.config import ORAMConfig
+from repro.core.path_oram import PathORAM
+from repro.core.types import Operation
+from repro.runner import CheckpointManager, WindowPlan, run_windows
+
+#: Interleaved checkpointed/plain windows over the same plan.
+WINDOWS = 3
+WORKING_SET = 512
+
+SPEEDUP_FLOOR = perf_floor("checkpoint")
+
+
+def _sim_window(num_accesses, seed, working_set):
+    """One self-seeded simulation window (module-level: pool-picklable)."""
+    oram = build_oram(
+        OramSpec(protocol="flat", storage="flat"),
+        ORAMConfig(working_set_blocks=working_set),
+        seed=seed,
+    )
+    rng = random.Random(seed ^ 0x5BD1E995)
+    for index in range(num_accesses):
+        oram.access(1 + rng.randrange(working_set), Operation.WRITE, data=index)
+    stats = oram.stats
+    return (stats.real_accesses, stats.dummy_accesses, stats.path_reads)
+
+
+def _snapshot_roundtrip_cost():
+    """Milliseconds for one snapshot and one restore of a warm ORAM."""
+    oram = build_oram(
+        OramSpec(protocol="flat", storage="flat"),
+        ORAMConfig(working_set_blocks=WORKING_SET),
+        seed=5,
+    )
+    rng = random.Random(17)
+    for index in range(scaled(2000, minimum=200)):
+        oram.access(1 + rng.randrange(WORKING_SET), Operation.WRITE, data=index)
+    reps = 5
+    start = time.perf_counter()
+    for _ in range(reps):
+        snapshot = oram.snapshot()
+    snapshot_ms = (time.perf_counter() - start) / reps * 1e3
+    start = time.perf_counter()
+    for _ in range(reps):
+        restored = PathORAM.restore(snapshot)
+    restore_ms = (time.perf_counter() - start) / reps * 1e3
+    assert restored.stats.fingerprint() == oram.stats.fingerprint()
+    return snapshot_ms, restore_ms, len(snapshot["state"])
+
+
+def test_checkpointed_run_overhead(benchmark, tmp_path):
+    plan = WindowPlan.split(
+        key="ckpt-bench",
+        base_seed=21,
+        total_accesses=scaled(48_000, minimum=2400),
+        windows=6,
+    )
+    kwargs = {"working_set": WORKING_SET}
+
+    def _plain():
+        start = time.perf_counter()
+        values = run_windows(_sim_window, plan, kwargs=kwargs)
+        return values, time.perf_counter() - start
+
+    def _checkpointed(index):
+        manager = CheckpointManager(tmp_path / f"bench-{index}.ckpt", every=1)
+        start = time.perf_counter()
+        values = run_windows(_sim_window, plan, kwargs=kwargs, checkpoint=manager)
+        return values, time.perf_counter() - start, manager
+
+    def _run():
+        pairs = []
+        reference = None
+        manager = None
+        for index in range(WINDOWS):
+            ck_values, ck_seconds, manager = _checkpointed(index)
+            plain_values, plain_seconds = _plain()
+            assert ck_values == plain_values
+            if reference is None:
+                reference = plain_values
+            else:
+                assert plain_values == reference
+            pairs.append(
+                (
+                    plan.total_accesses / ck_seconds,
+                    plan.total_accesses / plain_seconds,
+                )
+            )
+        # A fully cached resume replays the recorded values bit-identically.
+        resumed = run_windows(
+            _sim_window,
+            plan,
+            kwargs=kwargs,
+            checkpoint=CheckpointManager(manager.path),
+        )
+        assert resumed == reference
+        return median_pair(pairs)
+
+    ck_rate, plain_rate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speedup = ck_rate / plain_rate
+    snapshot_ms, restore_ms, snapshot_bytes = _snapshot_roundtrip_cost()
+
+    record = {
+        "config": (
+            f"flat Path ORAM, working set {WORKING_SET} blocks, "
+            f"{plan.num_windows}-window plan, checkpoint saved every window"
+        ),
+        "workload": (
+            f"{plan.total_accesses} uniform random writes per run, "
+            f"{WINDOWS} paired checkpointed/plain windows"
+        ),
+        "metric": "accesses per second, checkpointed vs uncheckpointed",
+        "cpus": os.cpu_count(),
+        "checkpointed_accesses_per_s": round(ck_rate, 1),
+        "plain_accesses_per_s": round(plain_rate, 1),
+        "overhead_percent": round((1 - speedup) * 100, 2),
+        "snapshot_ms": round(snapshot_ms, 2),
+        "restore_ms": round(restore_ms, 2),
+        "snapshot_bytes": snapshot_bytes,
+        "target": "<10% end-to-end overhead (floor 0.9x)",
+        "speedup": round(speedup, 3),
+    }
+    record_perf(
+        "checkpoint",
+        record,
+        f"Checkpoint/resume — {plan.num_windows}-window plan with per-window "
+        "saves vs the same plan uncheckpointed",
+    )
+
+    floor_message = (
+        f"checkpointed run at {speedup:.3f}x the plain run (floor {SPEEDUP_FLOOR:.2f}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, floor_message

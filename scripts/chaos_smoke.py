@@ -1,0 +1,155 @@
+"""Chaos smoke test: kill a checkpointed run mid-grid, resume, compare.
+
+CI runs this script with no arguments.  It:
+
+1. computes an uninterrupted reference run of a small simulation grid;
+2. re-runs the same grid in a subprocess that hard-kills itself
+   (``os._exit``) right after the checkpoint manager has persisted the
+   N-th completed point — a crash at a checkpoint boundary;
+3. resumes from the survivor checkpoint file and asserts the final
+   results — per-point stats fingerprints included — are bit-identical
+   to the uninterrupted reference;
+4. runs a process-pool grid whose workers are killed once each by
+   :func:`repro.faults.chaos_kill_point` and asserts the retrying runner
+   still completes every point correctly.
+
+Exit code 0 means all chaos scenarios recovered bit-exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.backends import OramSpec, build_oram  # noqa: E402
+from repro.core.config import ORAMConfig  # noqa: E402
+from repro.core.types import Operation  # noqa: E402
+from repro.faults import chaos_kill_point  # noqa: E402
+from repro.runner import (  # noqa: E402
+    CheckpointManager,
+    ExperimentRunner,
+    ExperimentSpec,
+    derive_seed,
+)
+
+GRID_POINTS = 10
+KILL_AFTER = 4
+BASE_SEED = 29
+
+
+def sim_point(working_set, num_accesses, seed):
+    """One deterministic simulation point; the fingerprint is the value."""
+    oram = build_oram(
+        OramSpec(protocol="flat", storage="flat"),
+        ORAMConfig(working_set_blocks=working_set),
+        seed=seed,
+    )
+    rng = random.Random(seed ^ 0x9E3779B9)
+    for index in range(num_accesses):
+        oram.access(1 + rng.randrange(working_set), Operation.WRITE, data=index)
+    return (oram.stats.fingerprint(), oram._stash.fingerprint())
+
+
+def kill_once_point(value, marker_dir, seed=0):
+    """Pool worker that dies once at a chaos kill point, then succeeds."""
+    if value == 2:
+        chaos_kill_point(marker_dir, "chaos-worker")
+    return (value, random.Random(seed).getrandbits(32))
+
+
+def grid_specs():
+    return [
+        ExperimentSpec(
+            key=("chaos", index),
+            fn=sim_point,
+            kwargs={"working_set": 48 + 16 * (index % 3), "num_accesses": 300},
+            seed=derive_seed(BASE_SEED, ("chaos", index)),
+        )
+        for index in range(GRID_POINTS)
+    ]
+
+
+def run_child(checkpoint_path: str) -> None:
+    """Run the grid, dying right after the KILL_AFTER-th checkpointed save."""
+    manager = CheckpointManager(checkpoint_path, every=1)
+
+    def die_at_boundary(done, total, result):
+        # record() has already persisted this result (cadence is 1), so
+        # this models a crash exactly at a checkpoint boundary.
+        if done >= KILL_AFTER:
+            os._exit(3)
+
+    ExperimentRunner(progress=die_at_boundary).run(grid_specs(), checkpoint=manager)
+    # Unreachable when the kill fires; failing loudly beats passing silently.
+    os._exit(7)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--child", metavar="CKPT", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.child:
+        run_child(args.child)
+        return 7  # pragma: no cover - run_child never returns
+
+    reference = ExperimentRunner().run(grid_specs())
+    assert all(result.ok for result in reference)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_path = os.path.join(tmp, "chaos.ckpt")
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child", checkpoint_path],
+            cwd=REPO_ROOT,
+        )
+        assert child.returncode == 3, f"child exited {child.returncode}, expected 3"
+        survivor = CheckpointManager(checkpoint_path)
+        assert survivor.completed == KILL_AFTER, (
+            f"checkpoint holds {survivor.completed} points, expected {KILL_AFTER}"
+        )
+        print(f"[chaos] child killed after {survivor.completed} checkpointed points")
+
+        resumed = ExperimentRunner().run(grid_specs(), checkpoint=survivor)
+        assert [r.value for r in resumed] == [r.value for r in reference], (
+            "resumed grid diverged from the uninterrupted reference"
+        )
+        assert [r.key for r in resumed] == [r.key for r in reference]
+        print(f"[chaos] resume matched the uninterrupted run on all {GRID_POINTS} points")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        specs = [
+            ExperimentSpec(
+                key=("kill", value),
+                fn=kill_once_point,
+                kwargs={"value": value, "marker_dir": tmp},
+                seed=derive_seed(BASE_SEED, ("kill", value)),
+            )
+            for value in range(6)
+        ]
+        serial = ExperimentRunner().run(
+            [spec for spec in specs if spec.kwargs["value"] != 2]
+        )
+        pooled = ExperimentRunner(executor="process", max_workers=2).run(specs)
+        assert all(result.ok for result in pooled), [
+            (result.key, result.error) for result in pooled if not result.ok
+        ]
+        assert os.path.exists(os.path.join(tmp, "chaos-worker.marker")), (
+            "the chaos kill point never fired"
+        )
+        by_key = {result.key: result.value for result in pooled}
+        for result in serial:
+            assert by_key[result.key] == result.value
+        print("[chaos] killed pool worker retried; grid completed with correct values")
+
+    print("[chaos] all chaos scenarios recovered bit-exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -484,6 +484,25 @@ def build_oram(
     )
 
 
+def restore_oram(snapshot: dict) -> Backend:
+    """Rebuild an ORAM from a versioned snapshot envelope.
+
+    Dispatches on the envelope's ``kind`` to the matching class's
+    :meth:`restore`, so callers holding an opaque snapshot (e.g. a
+    checkpointed long run) do not need to know which protocol produced it.
+    """
+    from repro.core.snapshot import snapshot_kind
+
+    kind = snapshot_kind(snapshot)
+    if kind == PathORAM.SNAPSHOT_KIND:
+        return PathORAM.restore(snapshot)
+    if kind == HierarchicalPathORAM.SNAPSHOT_KIND:
+        return HierarchicalPathORAM.restore(snapshot)
+    from repro.errors import CheckpointError
+
+    raise CheckpointError(f"no ORAM class registered for snapshot kind {kind!r}")
+
+
 def build_interface(
     spec: OramSpec,
     config: ORAMConfig | HierarchyConfig,

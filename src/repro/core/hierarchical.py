@@ -196,36 +196,83 @@ class HierarchicalPathORAM:
         self._plb_active = self._plb is not None and all(
             _fused_op(oram) is not None for oram in self._orams[1:]
         )
-        if self._plb_active:
-            plb = self._plb
-            for level, oram in enumerate(self._orams[1:], start=1):
-
-                def _observe(address, labels, _level=level, _plb=plb):
-                    # access_position_block coherence hook: a fused op hands
-                    # over the block's live label list (install/refresh); a
-                    # re-materialising op hands None (drop any stale ref).
-                    if labels is None:
-                        _plb.invalidate(_level, address)
-                    else:
-                        _plb.install(_level, address, labels)
-
-                oram._position_block_observer = _observe  # noqa: SLF001
-            if self._dynamic_data and self._labels_per_block:
-                k = self._labels_per_block[0]
-
-                def _retarget(lo, hi, _plb=plb, _k=k):
-                    # A dynamic cohort move re-leafed [lo, hi) behind the
-                    # chain's back: drop every level-1 position-map block
-                    # covering the span before a stale label can be served.
-                    _plb.invalidate_range(1, (lo - 1) // _k + 1, (hi - 2) // _k + 1)
-
-                self._orams[0]._retarget_observer = _retarget  # noqa: SLF001
+        self._install_plb_observers()
         self._eviction_order = tuple(reversed(self._orams))
         self._thresholded_orams = tuple(
             (oram, oram.eviction_threshold)
             for oram in self._orams
             if oram.eviction_threshold is not None
         )
+
+    def _install_plb_observers(self) -> None:
+        """(Re-)install the PLB coherence closures on the chain's ORAMs.
+
+        Shared by construction and :meth:`__setstate__`: the observers are
+        closures over the PLB (unpicklable by design), so a snapshot strips
+        them from every child ORAM and a restore re-installs them here.
+        """
+        if not self._plb_active:
+            return
+        plb = self._plb
+        for level, oram in enumerate(self._orams[1:], start=1):
+
+            def _observe(address, labels, _level=level, _plb=plb):
+                # access_position_block coherence hook: a fused op hands
+                # over the block's live label list (install/refresh); a
+                # re-materialising op hands None (drop any stale ref).
+                if labels is None:
+                    _plb.invalidate(_level, address)
+                else:
+                    _plb.install(_level, address, labels)
+
+            oram._position_block_observer = _observe  # noqa: SLF001
+        if self._dynamic_data and self._labels_per_block:
+            k = self._labels_per_block[0]
+
+            def _retarget(lo, hi, _plb=plb, _k=k):
+                # A dynamic cohort move re-leafed [lo, hi) behind the
+                # chain's back: drop every level-1 position-map block
+                # covering the span before a stale label can be served.
+                _plb.invalidate_range(1, (lo - 1) // _k + 1, (hi - 2) // _k + 1)
+
+            self._orams[0]._retarget_observer = _retarget  # noqa: SLF001
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume
+    # ------------------------------------------------------------------
+    #: Envelope kind tag written by :meth:`snapshot` (see repro.core.snapshot).
+    SNAPSHOT_KIND = "hierarchical-path-oram"
+
+    def __setstate__(self, state: dict) -> None:
+        # The child ORAMs' __getstate__ stripped the PLB observer closures;
+        # everything else (shared RNG, the PLB's live label-list references
+        # into the chain's blocks, the memoised chain tables) round-trips
+        # through the pickle memo with aliasing intact.
+        self.__dict__.update(state)
+        self._install_plb_observers()
+
+    def snapshot(self) -> dict:
+        """Capture the whole chain's state in a versioned envelope.
+
+        Covers every ORAM in the chain (storage, stash, position map,
+        stats), the on-chip position map, the PLB contents and the shared
+        ``random.Random`` state, so a :meth:`restore`'d hierarchy continues
+        bit-identically to this one.
+        """
+        from repro.core.snapshot import make_snapshot
+
+        return make_snapshot(self, self.SNAPSHOT_KIND)
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "HierarchicalPathORAM":
+        """Reconstruct a hierarchy from a :meth:`snapshot` envelope.
+
+        Raises :class:`~repro.errors.CheckpointError` on version, format or
+        kind mismatches.
+        """
+        from repro.core.snapshot import load_snapshot
+
+        return load_snapshot(snapshot, cls.SNAPSHOT_KIND, cls)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -93,6 +93,17 @@ class NumpyFlatTreeStorage(TreeStorage):
         self._path_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The per-leaf gather-index cache is pure derived state and can be
+        # a large fraction of a snapshot (two ndarrays per touched leaf);
+        # drop it and let reads repopulate it lazily after restore.
+        state = self.__dict__.copy()
+        state["_path_rows"] = {}
+        return state
+
+    # ------------------------------------------------------------------
     # Bucket interface
     # ------------------------------------------------------------------
     def read_bucket(self, bucket_index: int) -> list[Block]:

@@ -315,6 +315,56 @@ class PathORAM:
         return self._stash.occupancy + self._storage.occupancy()
 
     # ------------------------------------------------------------------
+    # Checkpoint/resume
+    # ------------------------------------------------------------------
+    #: Envelope kind tag written by :meth:`snapshot` (see repro.core.snapshot).
+    SNAPSHOT_KIND = "path-oram"
+
+    def __getstate__(self) -> dict:
+        # Everything in the instance dict pickles — including the bound RNG
+        # methods and the friend views into the storage, stash and position
+        # map, whose aliasing the pickle memo preserves exactly — except:
+        # the PLB observer closures (installed by HierarchicalPathORAM,
+        # which re-installs them on restore) and the column engine (ndarray
+        # aliases into the storage; rebuilt from the restored columns).
+        state = self.__dict__.copy()
+        state["_position_block_observer"] = None
+        state["_retarget_observer"] = None
+        state["_column_engine"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if getattr(type(self._storage), "columnar", False):
+            from repro.core.numpy_engine import ColumnEngine
+
+            self._column_engine = ColumnEngine.for_oram(self)
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state in a versioned envelope.
+
+        The snapshot covers the tree storage (list or NumPy columns), the
+        stash, the position map, the super-block mapper's runtime counters,
+        the ``random.Random`` state and the statistics — everything needed
+        for :meth:`restore` to produce an ORAM whose subsequent accesses
+        are bit-identical to this one's.
+        """
+        from repro.core.snapshot import make_snapshot
+
+        return make_snapshot(self, self.SNAPSHOT_KIND)
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "PathORAM":
+        """Reconstruct an ORAM from a :meth:`snapshot` envelope.
+
+        Raises :class:`~repro.errors.CheckpointError` on version, format or
+        kind mismatches.
+        """
+        from repro.core.snapshot import load_snapshot
+
+        return load_snapshot(snapshot, cls.SNAPSHOT_KIND, cls)
+
+    # ------------------------------------------------------------------
     # The ORAM protocol
     # ------------------------------------------------------------------
     def access(

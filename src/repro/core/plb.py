@@ -96,3 +96,21 @@ class PosMapLookaside:
         """Empty every level (capacity and counters are kept)."""
         for cache in self.levels:
             cache.clear()
+
+    def fingerprint(self) -> tuple:
+        """Deterministic copy of the cache contents plus hit/miss counters.
+
+        The cached label lists are *live* references into the chain's
+        blocks, so the fingerprint copies them into tuples; insertion order
+        (= recency order) is part of the fingerprint because it decides
+        future evictions.  Used by the checkpoint/resume tests.
+        """
+        return (
+            self.entries_per_level,
+            self.hits,
+            self.misses,
+            tuple(
+                tuple((address, tuple(labels)) for address, labels in cache.items())
+                for cache in self.levels
+            ),
+        )

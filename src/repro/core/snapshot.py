@@ -1,0 +1,88 @@
+"""Versioned snapshot envelopes for checkpoint/resume.
+
+A snapshot is the full simulation state of one ORAM — tree storage (list or
+NumPy columns), stash, position maps, PLB contents, super-block mapper
+counters, ``random.Random`` state and statistics — wrapped in a small
+versioned envelope so a checkpoint written by one build can be rejected
+cleanly (instead of restored wrongly) by an incompatible one.
+
+The state itself is captured by pickling the protocol object: the pickle
+memo preserves every internal aliasing invariant the hot paths rely on (the
+protocol's slot-array view aliasing the storage's, the PLB's cached label
+lists aliasing the live block payloads, the stash's friend dicts), which is
+what makes a restored run bit-identical to an uninterrupted one.  The few
+genuinely unpicklable members (hierarchy-installed observer closures, the
+column engine's ndarray aliases) are stripped and rebuilt by the protocol
+classes' ``__getstate__`` / ``__setstate__`` hooks.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import CheckpointError
+
+#: Envelope marker: distinguishes snapshots from arbitrary pickled dicts.
+SNAPSHOT_FORMAT = "repro-oram-snapshot"
+
+#: Bump when the captured state's layout changes incompatibly; ``restore``
+#: refuses versions it does not know instead of deserialising them wrongly.
+SNAPSHOT_VERSION = 1
+
+
+def make_snapshot(obj: Any, kind: str) -> dict:
+    """Wrap ``obj``'s pickled state in a versioned snapshot envelope."""
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "kind": kind,
+        "state": pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+    }
+
+
+def snapshot_kind(envelope: Any) -> str:
+    """The ``kind`` tag of a snapshot envelope (validating only the shell).
+
+    Lets dispatchers (:func:`repro.backends.restore_oram`) route an opaque
+    snapshot to the right class without deserialising any state.
+    """
+    if not isinstance(envelope, dict) or envelope.get("format") != SNAPSHOT_FORMAT:
+        raise CheckpointError("not a snapshot envelope")
+    kind = envelope.get("kind")
+    if not isinstance(kind, str):
+        raise CheckpointError("snapshot envelope carries no kind tag")
+    return kind
+
+
+def load_snapshot(envelope: Any, kind: str, expected_type: type) -> Any:
+    """Validate a snapshot envelope and reconstruct the captured object.
+
+    Raises
+    ------
+    CheckpointError
+        If the envelope is not a snapshot, carries an unknown version, was
+        taken from a different kind of object, or deserialises to an
+        unexpected type.
+    """
+    if not isinstance(envelope, dict) or envelope.get("format") != SNAPSHOT_FORMAT:
+        raise CheckpointError("not a snapshot envelope")
+    version = envelope.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"unsupported snapshot version {version!r} (this build reads {SNAPSHOT_VERSION})"
+        )
+    if envelope.get("kind") != kind:
+        raise CheckpointError(f"snapshot kind {envelope.get('kind')!r} is not {kind!r}")
+    state = envelope.get("state")
+    if not isinstance(state, bytes):
+        raise CheckpointError("snapshot envelope carries no state bytes")
+    try:
+        obj = pickle.loads(state)
+    except Exception as exc:  # noqa: BLE001 - surface as a checkpoint problem
+        raise CheckpointError(f"snapshot state failed to deserialise: {exc}") from exc
+    if not isinstance(obj, expected_type):
+        raise CheckpointError(
+            f"snapshot restored a {type(obj).__name__}, expected {expected_type.__name__}"
+        )
+    return obj

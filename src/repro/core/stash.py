@@ -217,6 +217,15 @@ class Stash:
         """Snapshot list of all addresses currently in the stash."""
         return list(self._blocks.keys())
 
+    def fingerprint(self) -> tuple:
+        """Deterministic ``(address, leaf)`` view of the stash contents.
+
+        Sorted by address so two stashes holding the same blocks compare
+        equal regardless of insertion order; used by the checkpoint/resume
+        tests to pin bit-identical restored state.
+        """
+        return tuple(sorted((block.address, block.leaf) for block in self._blocks.values()))
+
     def clear(self) -> None:
         """Remove every block (used when resetting experiments)."""
         self._blocks.clear()

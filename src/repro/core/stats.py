@@ -84,6 +84,28 @@ class AccessStats:
             return theoretical
         return (self.real_accesses + self.dummy_accesses) / self.real_accesses * theoretical
 
+    def fingerprint(self) -> tuple:
+        """Deterministic tuple of every counter (occupancy samples included).
+
+        Used by the checkpoint/resume tests to assert that a restored run
+        ends with bit-identical statistics to an uninterrupted one.
+        """
+        return (
+            self.real_accesses,
+            self.dummy_accesses,
+            self.path_reads,
+            self.path_writes,
+            self.blocks_read,
+            self.blocks_written,
+            self.coalesced_ops,
+            self.plb_hits,
+            self.plb_misses,
+            self.super_block_merges,
+            self.super_block_splits,
+            self.super_block_hits,
+            tuple(self.stash_occupancy_samples),
+        )
+
     def merge(self, other: "AccessStats") -> None:
         """Accumulate ``other`` into this instance."""
         self.real_accesses += other.real_accesses

@@ -244,6 +244,22 @@ class DynamicSuperBlockMapper(SuperBlockMapper):
         self._num_addresses = num_addresses
         self._leader = list(range(num_addresses + 1))
 
+    def fingerprint(self) -> tuple:
+        """Deterministic view of the mapper's full runtime state.
+
+        Covers the group partition, the anchor leaves, the windowed access
+        counters and the access clock — everything the merge/split policy
+        decides from — so the checkpoint/resume tests can assert a restored
+        mapper continues bit-identically.
+        """
+        return (
+            self._accesses,
+            tuple(self._leader),
+            tuple(sorted(self._sizes.items())),
+            tuple(sorted(self._anchors.items())),
+            tuple(sorted((leader, tuple(counts)) for leader, counts in self._counts.items())),
+        )
+
     def iter_groups(self):
         """Yield every current ``(leader, size)`` pair, singletons included."""
         self._require_bound()

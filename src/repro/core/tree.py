@@ -333,3 +333,14 @@ class EncryptedTreeStorage(TreeStorage):
     def raw_bucket(self, bucket_index: int) -> bytes | None:
         """Ciphertext of one bucket as an adversary would see it."""
         return self._buckets[bucket_index]
+
+    def raw_path(self, leaf: int) -> list[bytes]:
+        """Raw ciphertext of every bucket on the path to ``leaf``, root first.
+
+        Never-written buckets read as ``b""``.  This is the one read entry
+        point the integrity layer verifies against, and the hook point the
+        fault injector (:mod:`repro.faults`) intercepts to model a memory
+        device returning corrupted, stale or lost data.
+        """
+        buckets = self._buckets
+        return [buckets[index] or b"" for index in self.path(leaf)]

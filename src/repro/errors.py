@@ -22,6 +22,15 @@ class IntegrityError(ReproError):
     """Integrity verification failed: a hash along the path did not match."""
 
 
+class CheckpointError(ReproError):
+    """A snapshot or checkpoint could not be written, read, or restored.
+
+    Raised for versioned-snapshot envelope mismatches (unknown format,
+    newer version, wrong object kind) and for on-disk checkpoint problems
+    (corrupt payload digest, non-monotonic generation numbers).
+    """
+
+
 class EncryptionError(ReproError):
     """A bucket could not be encrypted or decrypted (wrong key or size)."""
 

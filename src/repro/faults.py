@@ -1,0 +1,255 @@
+"""Deterministic fault injection for the storage and runner layers.
+
+Two kinds of fault live here:
+
+* **Storage faults** — :class:`FaultInjector` wraps an
+  :class:`~repro.core.tree.EncryptedTreeStorage` and plays the malicious /
+  unreliable memory device of the paper's Section 5 threat model: it flips
+  ciphertext bits, replays stale bucket contents and loses write-backs, on
+  a schedule fixed entirely by a seed.  Plugged in as the ``inner`` storage
+  of :class:`~repro.integrity.storage.IntegrityVerifiedStorage`, every
+  injected fault must surface as an
+  :class:`~repro.errors.IntegrityError` on the next verified path read —
+  the fault-injection tests prove the integrity stack has no blind spots.
+
+* **Process faults** — :func:`chaos_kill_point` hard-kills the current
+  process (``os._exit``) exactly once per marker file, which lets the
+  runner tests and the chaos-smoke CI job kill pool workers or whole runs
+  at chosen points and assert that retry and checkpoint/resume recover
+  bit-identically.
+
+Determinism: the injector draws every victim choice from its own
+``random.Random`` and schedules faults by *operation index* (counted path
+reads / path write-backs), so a given ``(seed, schedule)`` corrupts the
+same bucket at the same access in every run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.core.tree import EncryptedTreeStorage, TreeStorage
+
+__all__ = ["FAULT_KINDS", "InjectedFault", "FaultInjector", "chaos_kill_point"]
+
+#: Storage fault kinds the injector knows how to produce.
+FAULT_KINDS = ("bit_flip", "stale_replay", "drop_write")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Log record for one fault the injector actually applied.
+
+    ``op`` is the read-operation index at which the corruption became
+    visible to the verifier (for ``drop_write`` that is the read *after*
+    the lost write-back, which is when a real lost write would be
+    observed).
+    """
+
+    op: int
+    kind: str
+    bucket: int
+
+
+class FaultInjector(TreeStorage):
+    """A seeded, fault-injecting proxy around an encrypted tree storage.
+
+    Faults are scheduled by operation index:
+
+    * ``read_faults`` maps *verified path-read* indices to ``"bit_flip"``
+      or ``"stale_replay"``; the corruption is applied to a bucket on the
+      very path being read, immediately before the bytes are returned, so
+      the wrapping integrity layer must detect it in that same read.
+    * ``write_faults`` is a set of *path write-back* indices whose root
+      bucket write is lost: the write completes (the authenticator hashes
+      the new contents), then the pre-write ciphertext is silently put
+      back at the next path read — the moment a real dropped DRAM write
+      would surface.
+
+    The read-back the integrity layer performs inside ``write_path`` (to
+    refresh the authentication tree) is recognised and never counted or
+    corrupted — the injector models a device that corrupts *stored* data,
+    not the verifier's own view of what it just wrote.
+    """
+
+    def __init__(
+        self,
+        storage: EncryptedTreeStorage,
+        *,
+        read_faults: dict[int, str] | None = None,
+        write_faults: set[int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(storage.config)
+        for kind in (read_faults or {}).values():
+            if kind not in ("bit_flip", "stale_replay"):
+                raise ValueError(f"unknown read fault kind: {kind!r}")
+        self._storage = storage
+        self._read_faults = dict(read_faults or {})
+        self._write_faults = set(write_faults or ())
+        self._rng = random.Random(seed)
+        #: Operation counters (verified path reads / path write-backs).
+        self.read_ops = 0
+        self.write_ops = 0
+        #: Faults actually applied, in application order.
+        self.injected: list[InjectedFault] = []
+        # First-ever ciphertext seen per bucket before an overwrite — the
+        # stale snapshot a replay attack reinstates.
+        self._stale: dict[int, bytes | None] = {}
+        # Leaf of a write-back whose follow-up read-back (auth refresh)
+        # must pass through untouched.
+        self._pending_readback: int | None = None
+        # (bucket, old ciphertext) reverted at the next path read to model
+        # a lost write becoming visible.
+        self._pending_revert: tuple[int, bytes | None] | None = None
+
+    @classmethod
+    def seeded(
+        cls,
+        storage: EncryptedTreeStorage,
+        seed: int,
+        *,
+        num_faults: int,
+        horizon: int,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+    ) -> "FaultInjector":
+        """Build an injector with ``num_faults`` faults drawn from ``kinds``
+        at operation indices in ``[1, horizon)``, fully determined by
+        ``seed``."""
+        rng = random.Random(seed)
+        read_faults: dict[int, str] = {}
+        write_faults: set[int] = set()
+        # Start at 1 so the tree has at least one written path to corrupt.
+        ops = rng.sample(range(1, max(horizon, num_faults + 1)), num_faults)
+        for op in ops:
+            kind = rng.choice(kinds)
+            if kind == "drop_write":
+                write_faults.add(op)
+            else:
+                read_faults[op] = kind
+        return cls(
+            storage, read_faults=read_faults, write_faults=write_faults, seed=seed
+        )
+
+    @property
+    def storage(self) -> EncryptedTreeStorage:
+        """The wrapped (real) encrypted storage."""
+        return self._storage
+
+    @property
+    def pending(self) -> int:
+        """Scheduled faults that have not yet surfaced to the verifier."""
+        reverts = 1 if self._pending_revert is not None else 0
+        return len(self._read_faults) + len(self._write_faults) + reverts
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _flip_bit(self, bucket: int) -> None:
+        buckets = self._storage._buckets
+        corrupted = bytearray(buckets[bucket])
+        bit = self._rng.randrange(len(corrupted) * 8)
+        corrupted[bit >> 3] ^= 1 << (bit & 7)
+        buckets[bucket] = bytes(corrupted)
+
+    def _inject_on_read(self, op: int, kind: str, path: tuple[int, ...]) -> bool:
+        buckets = self._storage._buckets
+        if kind == "bit_flip":
+            victims = [index for index in path if buckets[index]]
+            if not victims:
+                return False
+            victim = self._rng.choice(victims)
+            self._flip_bit(victim)
+        else:  # stale_replay
+            victims = [
+                index
+                for index in path
+                if index in self._stale and self._stale[index] != buckets[index]
+            ]
+            if not victims:
+                return False
+            victim = self._rng.choice(victims)
+            buckets[victim] = self._stale[victim]
+        self.injected.append(InjectedFault(op=op, kind=kind, bucket=victim))
+        return True
+
+    # ------------------------------------------------------------------
+    # TreeStorage interface (device-facing)
+    # ------------------------------------------------------------------
+    def raw_path(self, leaf: int) -> list[bytes]:
+        if self._pending_readback == leaf:
+            # The integrity layer re-reading the path it just wrote, to
+            # refresh the authentication tree: not a device read.
+            self._pending_readback = None
+            return self._storage.raw_path(leaf)
+        op = self.read_ops
+        self.read_ops += 1
+        path = self.path(leaf)
+        if self._pending_revert is not None:
+            bucket, old = self._pending_revert
+            self._pending_revert = None
+            self._storage._buckets[bucket] = old
+            self.injected.append(
+                InjectedFault(op=op, kind="drop_write", bucket=bucket)
+            )
+        kind = self._read_faults.pop(op, None)
+        if kind is not None and not self._inject_on_read(op, kind, path):
+            # No eligible victim yet (cold tree): retry on the next read.
+            self._read_faults[op + 1] = kind
+        return self._storage.raw_path(leaf)
+
+    def write_path(self, leaf: int, assignments) -> None:
+        op = self.write_ops
+        self.write_ops += 1
+        path = self.path(leaf)
+        buckets = self._storage._buckets
+        for index in path:
+            if index not in self._stale and buckets[index] is not None:
+                self._stale[index] = buckets[index]
+        drop = op in self._write_faults and self._pending_revert is None
+        old_root = buckets[path[0]] if drop else None
+        self._storage.write_path(leaf, assignments)
+        if drop:
+            self._write_faults.discard(op)
+            # Lost write-back: remember the pre-write root ciphertext and
+            # reinstate it when the device is next read.
+            self._pending_revert = (path[0], old_root)
+        self._pending_readback = leaf
+
+    # Plain delegation below: bucket-level ops are used by invariant checks
+    # and decoding only, never as the verified device read.
+    def read_bucket(self, bucket_index: int):
+        return self._storage.read_bucket(bucket_index)
+
+    def write_bucket(self, bucket_index: int, blocks) -> None:
+        self._storage.write_bucket(bucket_index, blocks)
+
+    def raw_bucket(self, bucket_index: int) -> bytes | None:
+        return self._storage.raw_bucket(bucket_index)
+
+    @property
+    def _buckets(self) -> list[bytes | None]:
+        # Adversarial test hooks poke the raw ciphertext list directly.
+        return self._storage._buckets
+
+
+def chaos_kill_point(marker_dir: str, name: str = "kill") -> bool:
+    """Hard-kill the current process exactly once per marker file.
+
+    Atomically creates ``<marker_dir>/<name>.marker``; on the first call
+    the marker is created and the process dies with ``os._exit(1)`` —
+    no cleanup, no atexit, exactly like a SIGKILLed pool worker.  Every
+    later call (same marker) returns ``False`` and does nothing, so a
+    retried worker sails past the kill point.  Returns ``False`` if the
+    marker already existed (the return annotation exists for callers and
+    type checkers; the killing branch never returns).
+    """
+    marker = os.path.join(marker_dir, f"{name}.marker")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    os._exit(1)

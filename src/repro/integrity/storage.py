@@ -26,9 +26,13 @@ class IntegrityVerifiedStorage(TreeStorage):
     """
 
     def __init__(self, config: ORAMConfig, cipher: BucketCipher,
-                 authenticator: PathORAMAuthenticator | None = None) -> None:
+                 authenticator: PathORAMAuthenticator | None = None,
+                 inner: EncryptedTreeStorage | None = None) -> None:
         super().__init__(config)
-        self._inner = EncryptedTreeStorage(config, cipher)
+        # ``inner`` lets callers interpose on the raw device — the fault
+        # injector (:mod:`repro.faults`) wraps an EncryptedTreeStorage here
+        # so injected corruption flows through the verification below.
+        self._inner = inner if inner is not None else EncryptedTreeStorage(config, cipher)
         self._auth = authenticator if authenticator is not None else PathORAMAuthenticator(config)
 
     @property
@@ -53,7 +57,10 @@ class IntegrityVerifiedStorage(TreeStorage):
     def read_path(self, leaf: int) -> list[Block]:
         """Verify then decrypt every bucket on the path to ``leaf``."""
         path = self.path(leaf)
-        raw = [self._inner.raw_bucket(index) or b"" for index in path]
+        # ``raw_path`` is the device-facing read: a fault-injecting inner
+        # storage applies its scheduled corruption there, so verification
+        # sees exactly what "the DRAM" returned.
+        raw = self._inner.raw_path(leaf)
         self._auth.verify_path(leaf, raw)
         blocks: list[Block] = []
         for index in path:
@@ -63,8 +70,7 @@ class IntegrityVerifiedStorage(TreeStorage):
     def write_path(self, leaf: int, assignments: dict[int, list[Block]]) -> None:
         """Re-encrypt and write the path, then refresh the authentication tree."""
         self._inner.write_path(leaf, assignments)
-        path = self.path(leaf)
-        raw = [self._inner.raw_bucket(index) or b"" for index in path]
+        raw = self._inner.raw_path(leaf)
         self._auth.update_path(leaf, raw)
 
     # ------------------------------------------------------------------

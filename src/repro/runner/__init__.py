@@ -20,18 +20,28 @@ Typical use::
     points = ExperimentRunner(executor="process").run_values(specs)
 """
 
+from repro.runner.checkpoint import CheckpointManager
 from repro.runner.fleet import FleetPlan, register_fleet_adapter, run_fleet
-from repro.runner.runner import ExperimentRunner, ProgressCallback, RunnerError
+from repro.runner.runner import (
+    TRANSIENT_ERROR_TYPES,
+    ExperimentRunner,
+    ProgressCallback,
+    RetryPolicy,
+    RunnerError,
+)
 from repro.runner.spec import ExperimentResult, ExperimentSpec, derive_seed
 from repro.runner.windows import WindowPlan, merge_counters, run_windows, window_specs
 
 __all__ = [
+    "CheckpointManager",
     "ExperimentRunner",
     "ExperimentSpec",
     "ExperimentResult",
     "FleetPlan",
     "ProgressCallback",
+    "RetryPolicy",
     "RunnerError",
+    "TRANSIENT_ERROR_TYPES",
     "WindowPlan",
     "derive_seed",
     "merge_counters",

@@ -1,0 +1,190 @@
+"""Durable checkpoints for experiment grids and window plans.
+
+:class:`CheckpointManager` persists completed :class:`~repro.runner.spec.
+ExperimentResult` envelopes to a single file so an interrupted sweep can be
+resumed without recomputing finished points.  Because every point function
+here is deterministic under its derived seed, skipping completed points and
+replaying their recorded results yields output bit-identical to an
+uninterrupted run — the checkpoint tests pin this down to stats
+fingerprints and end-of-run RNG state.
+
+File format (one file per checkpoint)::
+
+    sha256(gen || payload)  (32 bytes)
+    generation              (8 bytes, big-endian)
+    payload                 (pickled envelope)
+
+The envelope is ``{"format", "version", "generation", "results"}`` with
+results keyed by ``repr(spec.key)`` — the same canonical key form the seed
+derivation uses.  Writes are atomic (temp file + fsync + ``os.replace``)
+and carry a monotonically increasing generation number, so a reader never
+sees a torn or rolled-back checkpoint; a digest mismatch or a generation
+that moved backwards raises :class:`~repro.errors.CheckpointError` instead
+of silently resuming from bad state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.runner.spec import ExperimentResult
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_DIGEST_BYTES = 32
+_GENERATION_BYTES = 8
+_HEADER_BYTES = _DIGEST_BYTES + _GENERATION_BYTES
+
+
+class CheckpointManager:
+    """Records completed experiment points and replays them on resume.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location.  An existing file is loaded (and
+        validated) on construction; a missing file starts empty.
+    every:
+        Save cadence: persist after every ``every``-th recorded result.
+        The runner additionally calls :meth:`save` at the end of the run,
+        so a cadence larger than 1 only bounds how much work a crash can
+        lose, never whether the final state lands on disk.
+    """
+
+    def __init__(self, path: str | os.PathLike, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._path = os.fspath(path)
+        self._every = every
+        self._results: dict[str, ExperimentResult] = {}
+        self._generation = 0
+        self._dirty = 0
+        if os.path.exists(self._path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def generation(self) -> int:
+        """Number of checkpoint saves performed (monotonic, persisted)."""
+        return self._generation
+
+    @property
+    def completed(self) -> int:
+        """Number of point results currently held."""
+        return len(self._results)
+
+    def result_for(self, key: Any) -> ExperimentResult | None:
+        """The recorded result for a spec key, or ``None`` if not done."""
+        return self._results.get(repr(key))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, result: ExperimentResult) -> None:
+        """Record one completed point; failed points are not checkpointed.
+
+        (A failed point must re-execute on resume — recording it would
+        make a transient fault permanent.)
+        """
+        if not result.ok:
+            return
+        self._results[repr(result.key)] = result
+        self._dirty += 1
+        if self._dirty >= self._every:
+            self.save()
+
+    def save(self) -> None:
+        """Atomically persist the current state (no-op when unchanged)."""
+        if not self._dirty and self._generation and os.path.exists(self._path):
+            return
+        disk_generation = self._peek_generation(self._path)
+        if disk_generation is not None and disk_generation > self._generation:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} advanced externally "
+                f"(on disk: generation {disk_generation}, "
+                f"ours: {self._generation}); refusing to roll it back"
+            )
+        self._generation += 1
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "generation": self._generation,
+            "results": dict(self._results),
+        }
+        payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        generation = self._generation.to_bytes(_GENERATION_BYTES, "big")
+        digest = hashlib.sha256(generation + payload).digest()
+        tmp = f"{self._path}.tmp.{os.getpid()}"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, digest + generation + payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self._path)
+        self._dirty = 0
+
+    def flush(self) -> None:
+        """Alias for :meth:`save` (end-of-run hook)."""
+        self.save()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peek_generation(path: str) -> int | None:
+        """Generation number of the file at ``path`` (header only), or
+        ``None`` when there is no readable checkpoint."""
+        try:
+            with open(path, "rb") as handle:
+                header = handle.read(_HEADER_BYTES)
+        except OSError:
+            return None
+        if len(header) < _HEADER_BYTES:
+            return None
+        return int.from_bytes(header[_DIGEST_BYTES:], "big")
+
+    def _load(self) -> None:
+        with open(self._path, "rb") as handle:
+            blob = handle.read()
+        if len(blob) < _HEADER_BYTES:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} is truncated ({len(blob)} bytes)"
+            )
+        digest = blob[:_DIGEST_BYTES]
+        generation_bytes = blob[_DIGEST_BYTES:_HEADER_BYTES]
+        payload = blob[_HEADER_BYTES:]
+        if hashlib.sha256(generation_bytes + payload).digest() != digest:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} is corrupt (payload digest mismatch)"
+            )
+        envelope = pickle.loads(payload)
+        if envelope.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} has unknown format "
+                f"{envelope.get('format')!r}"
+            )
+        if envelope.get("version") > CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} was written by a newer version "
+                f"({envelope.get('version')} > {CHECKPOINT_VERSION})"
+            )
+        generation = int.from_bytes(generation_bytes, "big")
+        if envelope.get("generation") != generation:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} header/payload generation mismatch"
+            )
+        self._generation = generation
+        self._results = dict(envelope["results"])
+        self._dirty = 0

@@ -57,13 +57,18 @@ class ExperimentResult:
 
     ``value`` holds whatever the spec's ``fn`` returned; ``error`` holds a
     formatted exception string when the point failed (and ``value`` is
-    ``None``).  ``seconds`` is wall-clock compute time of the point and is
-    the only field that may differ between serial and parallel runs.
+    ``None``).  ``error_type`` classifies the failure — the exception class
+    name for in-function errors, or one of the runner's synthetic types
+    (``"WorkerDied"``, ``"Aborted"``, ``"NotExecuted"``) — and is what the
+    retry policy consults to tell transient faults from deterministic ones.
+    ``seconds`` is wall-clock compute time of the point and is the only
+    field that may differ between serial and parallel runs.
     """
 
     key: Any
     value: Any = None
     error: str | None = None
+    error_type: str | None = None
     seconds: float = 0.0
 
     @property

@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.runner.runner import ExperimentRunner, ProgressCallback
+from repro.runner.checkpoint import CheckpointManager
+from repro.runner.runner import ExperimentRunner, ProgressCallback, RetryPolicy
 from repro.runner.spec import ExperimentSpec, derive_seed
 
 
@@ -111,18 +112,24 @@ def run_windows(
     executor: str = "serial",
     max_workers: int | None = None,
     progress: ProgressCallback | None = None,
+    checkpoint: CheckpointManager | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[Any]:
     """Execute every window of ``plan`` and return the per-window values.
 
     With ``executor="process"`` the windows run across pool workers,
     bit-identically to a serial run of the same plan (each window is an
     independent simulation seeded by :meth:`WindowPlan.window_seed`).
+    With a ``checkpoint``, completed windows are persisted as they finish
+    and skipped on resume — an interrupted long measurement restarts at
+    window granularity and still merges to bit-identical totals.
     """
     runner = ExperimentRunner(
-        executor=executor, max_workers=max_workers, progress=progress
+        executor=executor, max_workers=max_workers, progress=progress, retry=retry
     )
     return runner.run_values(
-        window_specs(fn, plan, kwargs=kwargs, accesses_kwarg=accesses_kwarg)
+        window_specs(fn, plan, kwargs=kwargs, accesses_kwarg=accesses_kwarg),
+        checkpoint=checkpoint,
     )
 
 

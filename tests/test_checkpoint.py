@@ -1,0 +1,336 @@
+"""Checkpoint/resume: snapshot round-trips, the manager, and runner resume."""
+
+import os
+import pickle
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.backends import OramSpec, build_oram, restore_oram
+from repro.core.config import ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.path_oram import PathORAM
+from repro.core.presets import dz3pb32
+from repro.core.snapshot import SNAPSHOT_VERSION, snapshot_kind
+from repro.core.types import Operation
+from repro.errors import CheckpointError
+from repro.runner import (
+    CheckpointManager,
+    ExperimentRunner,
+    ExperimentSpec,
+    WindowPlan,
+    derive_seed,
+    merge_counters,
+    run_windows,
+)
+from repro.runner.spec import ExperimentResult
+
+
+def _flat_oram(spec_kwargs=None, seed=11):
+    spec = OramSpec(protocol="flat", storage="flat", **(spec_kwargs or {}))
+    return build_oram(spec, ORAMConfig(working_set_blocks=48), seed=seed)
+
+
+def _drive(oram, start, count, working_set=48):
+    """Deterministic mixed read/write stream; returns the observable log."""
+    log = []
+    for i in range(start, start + count):
+        address = 1 + (i * 7) % working_set
+        if i % 3:
+            result = oram.access(address, Operation.WRITE, data=("payload", i))
+        else:
+            result = oram.access(address, Operation.READ)
+        log.append((address, result.data, result.found))
+    return log
+
+
+def _flat_fingerprint(oram):
+    return (
+        oram.stats.fingerprint(),
+        oram._stash.fingerprint(),
+        oram._mapper.fingerprint() if hasattr(oram._mapper, "fingerprint") else None,
+        oram._rng.getstate(),
+        oram.position_map.leaves if hasattr(oram.position_map, "leaves") else None,
+    )
+
+
+class TestSnapshotRoundtrip:
+    def test_flat_resume_is_bit_exact(self):
+        straight = _flat_oram()
+        log_a = _drive(straight, 0, 300)
+
+        first = _flat_oram()
+        assert log_a[:150] == _drive(first, 0, 150)
+        snapshot = first.snapshot()
+        resumed = PathORAM.restore(snapshot)
+        assert resumed is not first
+        assert log_a[150:] == _drive(resumed, 150, 150)
+        assert _flat_fingerprint(resumed) == _flat_fingerprint(straight)
+
+    def test_snapshot_does_not_alias_the_original(self):
+        first = _flat_oram()
+        _drive(first, 0, 60)
+        resumed = PathORAM.restore(first.snapshot())
+        _drive(first, 60, 60)
+        # The original moved on; the restored copy is an independent fork.
+        assert _flat_fingerprint(resumed) != _flat_fingerprint(first)
+        _drive(resumed, 60, 60)
+        assert _flat_fingerprint(resumed) == _flat_fingerprint(first)
+
+    def test_dynamic_super_block_mapper_state_rides_along(self):
+        kwargs = {"dynamic_super_blocks": True, "super_block_window": 64}
+        straight = _flat_oram(kwargs)
+        _drive(straight, 0, 240)
+        first = _flat_oram(kwargs)
+        _drive(first, 0, 120)
+        resumed = PathORAM.restore(first.snapshot())
+        _drive(resumed, 120, 120)
+        assert resumed._mapper.fingerprint() == straight._mapper.fingerprint()
+        assert _flat_fingerprint(resumed) == _flat_fingerprint(straight)
+
+    def test_numpy_stack_resume_is_bit_exact(self):
+        pytest.importorskip("numpy")
+        kwargs = {"storage": "numpy-flat"}
+        straight = build_oram(
+            OramSpec(protocol="flat", **kwargs), ORAMConfig(working_set_blocks=48), seed=11
+        )
+        log_a = _drive(straight, 0, 300)
+        first = build_oram(
+            OramSpec(protocol="flat", **kwargs), ORAMConfig(working_set_blocks=48), seed=11
+        )
+        _drive(first, 0, 150)
+        resumed = PathORAM.restore(first.snapshot())
+        # The column engine is derived state: rebuilt, not serialised.
+        assert resumed._column_engine is not None
+        assert resumed._column_engine is not first._column_engine
+        assert log_a[150:] == _drive(resumed, 150, 150)
+        assert resumed.stats.fingerprint() == straight.stats.fingerprint()
+        assert resumed._rng.getstate() == straight._rng.getstate()
+
+    def test_hierarchical_plb_resume_is_bit_exact(self):
+        spec = OramSpec(
+            protocol="hierarchical",
+            storage="flat",
+            plb_entries_per_level=4,
+            dynamic_super_blocks=True,
+        )
+        config = dz3pb32(scale=0.02)
+        straight = build_oram(spec, config, seed=5)
+        log_a = _drive(straight, 0, 220, working_set=config.data_oram.working_set_blocks)
+
+        first = build_oram(spec, config, seed=5)
+        working_set = config.data_oram.working_set_blocks
+        assert log_a[:110] == _drive(first, 0, 110, working_set=working_set)
+        resumed = HierarchicalPathORAM.restore(first.snapshot())
+        assert log_a[110:] == _drive(resumed, 110, 110, working_set=working_set)
+        assert resumed.plb.fingerprint() == straight.plb.fingerprint()
+        assert resumed.stats.fingerprint() == straight.stats.fingerprint()
+        for restored_oram, reference in zip(resumed.orams, straight.orams):
+            assert restored_oram.stats.fingerprint() == reference.stats.fingerprint()
+            assert restored_oram._stash.fingerprint() == reference._stash.fingerprint()
+        assert resumed._rng.getstate() == straight._rng.getstate()
+        # The chain children must share one RNG after restore, like at build.
+        assert all(o._rng is resumed._rng for o in resumed.orams)
+
+    def test_restore_oram_dispatches_on_kind(self):
+        flat = _flat_oram()
+        _drive(flat, 0, 30)
+        restored = restore_oram(flat.snapshot())
+        assert isinstance(restored, PathORAM)
+
+        hier = build_oram(
+            OramSpec(protocol="hierarchical", storage="flat"), dz3pb32(scale=0.02), seed=3
+        )
+        _drive(hier, 0, 20, working_set=hier.hierarchy.data_oram.working_set_blocks)
+        assert isinstance(restore_oram(hier.snapshot()), HierarchicalPathORAM)
+
+    def test_envelope_rejections(self):
+        flat = _flat_oram()
+        snapshot = flat.snapshot()
+        assert snapshot_kind(snapshot) == PathORAM.SNAPSHOT_KIND
+
+        with pytest.raises(CheckpointError):
+            PathORAM.restore({"format": "something-else"})
+        with pytest.raises(CheckpointError):
+            PathORAM.restore({**snapshot, "version": SNAPSHOT_VERSION + 1})
+        with pytest.raises(CheckpointError):
+            HierarchicalPathORAM.restore(snapshot)  # wrong kind
+        with pytest.raises(CheckpointError):
+            PathORAM.restore({**snapshot, "state": None})
+        with pytest.raises(CheckpointError):
+            restore_oram({**snapshot, "kind": "unknown-oram"})
+        with pytest.raises(CheckpointError):
+            snapshot_kind([1, 2, 3])
+
+
+def _grid_point(value, seed=0):
+    """Module-level experiment function (picklable for the process pool)."""
+    rng = random.Random(seed)
+    return (value, rng.randrange(1_000_000), rng.getrandbits(32))
+
+
+def _grid_specs(values, base_seed=7):
+    return [
+        ExperimentSpec(
+            key=("ck", value),
+            fn=_grid_point,
+            kwargs={"value": value},
+            seed=derive_seed(base_seed, ("ck", value)),
+        )
+        for value in values
+    ]
+
+
+@dataclass(frozen=True)
+class WindowCounters:
+    accesses: int
+    checksum: int
+
+
+def _window_point(scale, num_accesses, seed=0):
+    rng = random.Random(seed)
+    checksum = sum(rng.randrange(scale) for _ in range(num_accesses))
+    return WindowCounters(accesses=num_accesses, checksum=checksum)
+
+
+class TestCheckpointManager:
+    def test_roundtrip_and_generation(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        manager = CheckpointManager(path)
+        assert manager.generation == 0 and manager.completed == 0
+        manager.record(ExperimentResult(key=("a", 1), value=42))
+        assert os.path.exists(path)
+        reloaded = CheckpointManager(path)
+        assert reloaded.completed == 1
+        assert reloaded.result_for(("a", 1)).value == 42
+        assert reloaded.result_for(("a", 2)) is None
+        assert reloaded.generation == manager.generation == 1
+
+    def test_save_cadence(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        manager = CheckpointManager(path, every=3)
+        manager.record(ExperimentResult(key=1, value=1))
+        manager.record(ExperimentResult(key=2, value=2))
+        assert not os.path.exists(path)
+        manager.record(ExperimentResult(key=3, value=3))
+        assert os.path.exists(path)
+        assert CheckpointManager(path).completed == 3
+
+    def test_failed_results_are_not_recorded(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "grid.ckpt")
+        manager.record(ExperimentResult(key=1, error="boom", error_type="ValueError"))
+        assert manager.completed == 0
+        assert manager.result_for(1) is None
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        CheckpointManager(path).record(ExperimentResult(key=1, value=1))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="digest"):
+            CheckpointManager(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        path.write_bytes(b"short")
+        with pytest.raises(CheckpointError, match="truncated"):
+            CheckpointManager(path)
+
+    def test_unknown_format_and_newer_version_rejected(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "grid.ckpt"
+        for envelope in (
+            {"format": "other", "version": 1, "generation": 1, "results": {}},
+            {"format": "repro-checkpoint", "version": 99, "generation": 1, "results": {}},
+        ):
+            payload = pickle.dumps(envelope)
+            generation = (1).to_bytes(8, "big")
+            digest = hashlib.sha256(generation + payload).digest()
+            path.write_bytes(digest + generation + payload)
+            with pytest.raises(CheckpointError):
+                CheckpointManager(path)
+
+    def test_generation_rollback_refused(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        stale = CheckpointManager(path)
+        stale.record(ExperimentResult(key=1, value=1))
+        newer = CheckpointManager(path)
+        newer.record(ExperimentResult(key=2, value=2))
+        # ``stale`` now lags the on-disk generation; writing would roll the
+        # newer process's results back.
+        stale._results["extra"] = ExperimentResult(key=3, value=3)
+        stale._dirty = 1
+        with pytest.raises(CheckpointError, match="advanced externally"):
+            stale.save()
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "grid.ckpt")
+        for index in range(5):
+            manager.record(ExperimentResult(key=index, value=index))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["grid.ckpt"]
+
+
+class TestRunnerResume:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_interrupted_grid_resumes_bit_identically(self, tmp_path, executor):
+        specs = _grid_specs(list(range(12)))
+        reference = ExperimentRunner().run(specs)
+
+        path = tmp_path / "grid.ckpt"
+        # "Crash" after the first five points: only they reach the file.
+        ExperimentRunner().run(specs[:5], checkpoint=CheckpointManager(path))
+        assert CheckpointManager(path).completed == 5
+
+        executed = []
+        resumed = ExperimentRunner(
+            executor=executor,
+            max_workers=2,
+            progress=lambda done, total, result: executed.append((done, total)),
+        ).run(specs, checkpoint=CheckpointManager(path))
+        assert [r.value for r in resumed] == [r.value for r in reference]
+        assert [r.key for r in resumed] == [r.key for r in reference]
+        # Progress reaches (total, total) counting cached points too.
+        assert executed[-1] == (12, 12)
+        assert CheckpointManager(path).completed == 12
+
+    def test_resumed_values_match_via_run_values(self, tmp_path):
+        specs = _grid_specs(list(range(8)))
+        reference = ExperimentRunner().run_values(specs)
+        path = tmp_path / "grid.ckpt"
+        ExperimentRunner().run(specs[:3], checkpoint=CheckpointManager(path))
+        resumed = ExperimentRunner().run_values(specs, checkpoint=CheckpointManager(path))
+        assert resumed == reference
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_window_plan_resumes_bit_identically(self, tmp_path, executor):
+        plan = WindowPlan.split(key="win", base_seed=9, total_accesses=600, windows=6)
+        kwargs = {"scale": 1000}
+        reference = run_windows(_window_point, plan, kwargs=kwargs)
+        merged_reference = merge_counters(reference, ["accesses", "checksum"])
+
+        path = tmp_path / "windows.ckpt"
+        # Interrupt after three windows.
+        partial = WindowPlan(
+            key="win", base_seed=9, window_accesses=plan.window_accesses[:3]
+        )
+        run_windows(_window_point, partial, kwargs=kwargs, checkpoint=CheckpointManager(path))
+        resumed = run_windows(
+            _window_point,
+            plan,
+            kwargs=kwargs,
+            executor=executor,
+            max_workers=2,
+            checkpoint=CheckpointManager(path),
+        )
+        assert resumed == reference
+        assert merge_counters(resumed, ["accesses", "checksum"]) == merged_reference
+
+    def test_checkpointed_run_tolerates_missing_file_dir_entries(self, tmp_path):
+        # A checkpoint pointed at a fresh path is simply empty.
+        manager = CheckpointManager(tmp_path / "new.ckpt")
+        results = ExperimentRunner().run(_grid_specs([1, 2]), checkpoint=manager)
+        assert all(result.ok for result in results)
+        assert manager.completed == 2

@@ -28,6 +28,14 @@ def _point(value, seed=0, fail=False):
     return (value, seed, rng.randrange(1_000_000))
 
 
+def _slow_point(value, seed=0):
+    """Slow enough that an abort lands while points are still pending."""
+    import time
+
+    time.sleep(0.05)
+    return value
+
+
 def _specs(values, base_seed=7):
     return [
         ExperimentSpec(
@@ -84,6 +92,65 @@ class TestExperimentRunner:
         results = runner.run(_specs([1, 2, 3, 4]))
         assert [result.ok for result in results] == [True, True, False, False]
         assert results[-1].error == "aborted"
+
+    def test_abort_backfill_carries_error_type(self):
+        completed = []
+        runner = ExperimentRunner(
+            progress=lambda done, total, result: completed.append(result.key),
+            should_abort=lambda: len(completed) >= 1,
+        )
+        results = runner.run(_specs([1, 2, 3]))
+        assert [result.error_type for result in results] == [None, "Aborted", "Aborted"]
+
+    def test_error_type_names_the_exception_class(self):
+        specs = [ExperimentSpec(key="bad", fn=_point, kwargs={"value": 2, "fail": True})]
+        result = ExperimentRunner().run(specs)[0]
+        assert result.error_type == "ValueError"
+
+    def test_run_values_reports_overflow_failures_compactly(self):
+        specs = [
+            ExperimentSpec(key=("bad", value), fn=_point, kwargs={"value": value, "fail": True})
+            for value in range(9)
+        ]
+        with pytest.raises(RunnerError) as excinfo:
+            ExperimentRunner().run_values(specs)
+        message = str(excinfo.value)
+        assert "9 experiment point(s) failed" in message
+        assert "[ValueError]" in message
+        assert "(+4 more)" in message
+
+    def test_pool_creation_failure_falls_back_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", broken_pool
+        )
+        specs = _specs([4, 5, 6])
+        serial = ExperimentRunner().run_values(specs)
+        fallen_back = ExperimentRunner(executor="process", max_workers=2).run_values(specs)
+        assert fallen_back == serial
+
+    def test_abort_mid_pool_backfills_aborted(self):
+        completed = []
+        specs = [
+            ExperimentSpec(key=("slow", value), fn=_slow_point, kwargs={"value": value})
+            for value in range(12)
+        ]
+        runner = ExperimentRunner(
+            executor="process",
+            max_workers=2,
+            progress=lambda done, total, result: completed.append(result.key),
+            should_abort=lambda: len(completed) >= 2,
+        )
+        results = runner.run(specs)
+        aborted = [result for result in results if result.error == "aborted"]
+        finished = [result for result in results if result.ok]
+        assert aborted and finished
+        assert all(result.error_type == "Aborted" for result in aborted)
+        assert len(aborted) + len(finished) == 12
 
     def test_empty_spec_list(self):
         assert ExperimentRunner().run([]) == []

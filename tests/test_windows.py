@@ -18,7 +18,7 @@ from repro.analysis.sweep import (
 )
 from repro.core.config import ORAMConfig
 from repro.core.stats import AccessStats
-from repro.runner import WindowPlan, run_windows
+from repro.runner import WindowPlan, merge_counters, run_windows
 
 
 class TestWindowPlan:
@@ -36,6 +36,12 @@ class TestWindowPlan:
     def test_split_rejects_nonpositive_windows(self):
         with pytest.raises(ValueError):
             WindowPlan.split("exp", 0, total_accesses=10, windows=0)
+
+    def test_split_of_zero_accesses_yields_one_empty_window(self):
+        plan = WindowPlan.split("exp", 0, total_accesses=0, windows=4)
+        assert plan.num_windows == 1
+        assert plan.window_accesses == (0,)
+        assert plan.total_accesses == 0
 
     def test_window_seeds_are_distinct_and_stable(self):
         plan = WindowPlan.split("exp", 42, total_accesses=100, windows=4)
@@ -160,3 +166,16 @@ class TestRunWindowsGeneric:
 
 def _echo_window(num_accesses, seed, tag):
     return (num_accesses, seed, tag)
+
+
+class TestMergeCounters:
+    def test_merge_over_empty_values_is_all_zero(self):
+        assert merge_counters([], ["real_accesses", "dummy_accesses"]) == {
+            "real_accesses": 0,
+            "dummy_accesses": 0,
+        }
+
+    def test_merge_with_no_fields_is_empty(self):
+        stats = AccessStats()
+        stats.real_accesses = 3
+        assert merge_counters([stats], []) == {}
