@@ -11,7 +11,13 @@ CI runs this script with no arguments.  It:
    to the uninterrupted reference;
 4. runs a process-pool grid whose workers are killed once each by
    :func:`repro.faults.chaos_kill_point` and asserts the retrying runner
-   still completes every point correctly.
+   still completes every point correctly;
+5. hard-kills (``os._exit``) a subprocess in the middle of a durable
+   ``memmap-flat`` commit — after the new epoch's data pages are on disk
+   but before the generation header flips — then recovers the tree file,
+   restores the pre-crash snapshot and asserts the resumed run is
+   bit-identical (stats, stash and column fingerprints) to an
+   uninterrupted reference.  Skipped with a notice when NumPy is absent.
 
 Exit code 0 means all chaos scenarios recovered bit-exactly.
 """
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pickle
 import random
 import subprocess
 import sys
@@ -42,6 +49,18 @@ from repro.runner import (  # noqa: E402
 GRID_POINTS = 10
 KILL_AFTER = 4
 BASE_SEED = 29
+
+MEMMAP_SEED = 31
+MEMMAP_WORKING_SET = 96
+MEMMAP_W1 = 160
+MEMMAP_W2 = 80
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    HAVE_NUMPY = False
 
 
 def sim_point(working_set, num_accesses, seed):
@@ -91,13 +110,115 @@ def run_child(checkpoint_path: str) -> None:
     os._exit(7)
 
 
+def _memmap_spec(base_dir: str):
+    return OramSpec(protocol="flat", storage="memmap-flat", storage_path=base_dir)
+
+
+def _memmap_config():
+    return ORAMConfig(working_set_blocks=MEMMAP_WORKING_SET)
+
+
+def _memmap_drive(oram, start: int, count: int) -> None:
+    """A deterministic stretch of writes shared by child and reference."""
+    rng = random.Random(MEMMAP_SEED ^ start)
+    for index in range(start, start + count):
+        oram.access(1 + rng.randrange(MEMMAP_WORKING_SET), Operation.WRITE, data=index)
+
+
+def run_memmap_child(base_dir: str) -> None:
+    """Die by ``os._exit`` in the middle of a durable commit.
+
+    The crash hook fires at the ``header-write`` protocol point: the new
+    epoch's column pages and checksum table are already written and
+    fsynced, the sidecar is replaced, but the generation header has not
+    flipped — the worst spot short of a torn header, with maximal on-disk
+    divergence from the committed generation.
+    """
+    oram = build_oram(_memmap_spec(base_dir), _memmap_config(), seed=MEMMAP_SEED)
+    _memmap_drive(oram, 0, MEMMAP_W1)
+    snapshot = oram.snapshot()  # commits the post-W1 generation
+    with open(os.path.join(base_dir, "snapshot.pkl"), "wb") as handle:
+        pickle.dump(snapshot, handle)
+    _memmap_drive(oram, MEMMAP_W1, MEMMAP_W2)
+
+    def die_mid_commit(tag: str) -> None:
+        if tag == "header-write":
+            os._exit(3)
+
+    oram.storage.set_crash_hook(die_mid_commit)
+    oram.storage.commit()
+    # Unreachable when the kill fires; failing loudly beats passing silently.
+    os._exit(7)
+
+
+def memmap_chaos_scenario() -> None:
+    from repro.backends import restore_oram
+    from repro.core.memmap_tree import MemmapTreeStorage, column_digest
+
+    with tempfile.TemporaryDirectory() as tmp:
+        child_dir = os.path.join(tmp, "crashed")
+        os.makedirs(child_dir)
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--memmap-child", child_dir],
+            cwd=REPO_ROOT,
+        )
+        assert child.returncode == 3, f"child exited {child.returncode}, expected 3"
+
+        # Uninterrupted reference over the same deterministic trace.
+        ref_dir = os.path.join(tmp, "reference")
+        os.makedirs(ref_dir)
+        reference = build_oram(_memmap_spec(ref_dir), _memmap_config(), seed=MEMMAP_SEED)
+        _memmap_drive(reference, 0, MEMMAP_W1)
+        committed_digest = column_digest(reference.storage)
+        reference.snapshot()  # same commit the child's snapshot took
+        _memmap_drive(reference, MEMMAP_W1, MEMMAP_W2)
+
+        # Recovery: the crashed file must reopen at the committed
+        # generation with bit-identical columns (journal rollback).
+        tree_path = next(
+            os.path.join(child_dir, name)
+            for name in sorted(os.listdir(child_dir))
+            if name.endswith(".tree")
+        )
+        recovered = MemmapTreeStorage.open(tree_path)
+        assert column_digest(recovered) == committed_digest, (
+            "recovered tree diverged from the committed generation"
+        )
+        generation = recovered.generation
+        recovered.abandon()
+        print(
+            f"[chaos] memmap tree killed mid-commit recovered to "
+            f"generation {generation} bit-identically"
+        )
+
+        # Resume: restoring the pre-crash snapshot and replaying the lost
+        # window must match the uninterrupted reference exactly.
+        with open(os.path.join(child_dir, "snapshot.pkl"), "rb") as handle:
+            snapshot = pickle.load(handle)
+        resumed = restore_oram(snapshot)
+        _memmap_drive(resumed, MEMMAP_W1, MEMMAP_W2)
+        assert resumed.stats.fingerprint() == reference.stats.fingerprint()
+        assert resumed._stash.fingerprint() == reference._stash.fingerprint()
+        assert column_digest(resumed.storage) == column_digest(reference.storage)
+        resumed.storage.abandon()
+        reference.storage.abandon()
+        print(
+            "[chaos] memmap snapshot resume replayed the lost window "
+            "bit-identically to the uninterrupted run"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--child", metavar="CKPT", help=argparse.SUPPRESS)
+    parser.add_argument("--memmap-child", metavar="DIR", help=argparse.SUPPRESS)
     args = parser.parse_args()
     if args.child:
         run_child(args.child)
         return 7  # pragma: no cover - run_child never returns
+    if args.memmap_child:
+        run_memmap_child(args.memmap_child)
+        return 7  # pragma: no cover - run_memmap_child never returns
 
     reference = ExperimentRunner().run(grid_specs())
     assert all(result.ok for result in reference)
@@ -132,9 +253,7 @@ def main() -> int:
             )
             for value in range(6)
         ]
-        serial = ExperimentRunner().run(
-            [spec for spec in specs if spec.kwargs["value"] != 2]
-        )
+        serial = ExperimentRunner().run([spec for spec in specs if spec.kwargs["value"] != 2])
         pooled = ExperimentRunner(executor="process", max_workers=2).run(specs)
         assert all(result.ok for result in pooled), [
             (result.key, result.error) for result in pooled if not result.ok
@@ -146,6 +265,11 @@ def main() -> int:
         for result in serial:
             assert by_key[result.key] == result.value
         print("[chaos] killed pool worker retried; grid completed with correct values")
+
+    if HAVE_NUMPY:
+        memmap_chaos_scenario()
+    else:
+        print("[chaos] NumPy unavailable: memmap hard-kill scenario skipped")
 
     print("[chaos] all chaos scenarios recovered bit-exactly")
     return 0

@@ -25,7 +25,10 @@ serial run.  New storage stacks can be registered with
 
 from __future__ import annotations
 
+import itertools
+import os
 import random
+import tempfile
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Union
 
@@ -150,6 +153,19 @@ class OramSpec:
         per-buddy co-access count that triggers a merge, the hot-half
         count that triggers a split once the other half decays to zero,
         and the maximum runtime group size (a power of two).
+    storage_path:
+        ``memmap-flat`` stack only: directory the durable column files are
+        created in.  One ``build_oram`` call creates fresh stores there
+        (hierarchical ORAMs get one file per level); building the same
+        path twice truncates — reattaching to existing stores goes through
+        :meth:`repro.core.memmap_tree.MemmapTreeStorage.open` or snapshot
+        restore, never the builder.  Empty (default) uses a fresh
+        temporary directory per factory.
+    memmap_sync / memmap_history:
+        ``memmap-flat`` stack only: the journal fsync policy (``"strict"``
+        or ``"relaxed"``) and how many generations of undo
+        journals/headers to keep for rollback — see
+        :mod:`repro.core.memmap_tree`.
     """
 
     protocol: str = "flat"
@@ -168,6 +184,9 @@ class OramSpec:
     super_block_merge_threshold: int = 2
     super_block_split_threshold: int = 4
     super_block_max_size: int = 4
+    storage_path: str = ""
+    memmap_sync: str = "strict"
+    memmap_history: int = 4
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -215,6 +234,18 @@ class OramSpec:
                 "flat protocol has no position-map chain (use "
                 "protocol='hierarchical')"
             )
+        if self.storage_path and self.storage != "memmap-flat":
+            raise ConfigurationError(
+                "storage_path homes durable column files; it is only "
+                "meaningful for the 'memmap-flat' stack"
+            )
+        if self.memmap_sync not in ("strict", "relaxed"):
+            raise ConfigurationError(
+                f"unknown memmap_sync {self.memmap_sync!r}; "
+                "expected 'strict' or 'relaxed'"
+            )
+        if self.memmap_history < 1:
+            raise ConfigurationError("memmap_history must be >= 1")
         if self.dynamic_super_blocks:
             if self.eviction == "insecure":
                 raise ConfigurationError(
@@ -301,6 +332,33 @@ else:
             if config.num_buckets * config.z >= minimum:
                 return NumpyFlatTreeStorage(config)
             return FlatTreeStorage(config)
+
+        return factory
+
+    @register_storage("memmap-flat")
+    def _memmap_flat_storage(spec: OramSpec) -> StorageFactory:
+        from repro.core.memmap_tree import MemmapTreeStorage
+
+        base_dir = spec.storage_path or tempfile.mkdtemp(prefix="repro-memmap-")
+        minimum = spec.columnar_min_slots
+        # Hierarchical builds call the factory once per chain level; each
+        # level gets its own durable file, named by build order + geometry.
+        counter = itertools.count()
+
+        def factory(config: ORAMConfig) -> TreeStorage:
+            if minimum > 0 and config.num_buckets * config.z < minimum:
+                # Small position-map ORAMs stay on the volatile list
+                # stack; only trees past the cutoff earn a durable file.
+                return FlatTreeStorage(config)
+            index = next(counter)
+            os.makedirs(base_dir, exist_ok=True)
+            name = f"oram-{index:02d}-L{config.levels}-Z{config.z}.tree"
+            return MemmapTreeStorage(
+                config,
+                os.path.join(base_dir, name),
+                sync=spec.memmap_sync,
+                history_generations=spec.memmap_history,
+            )
 
         return factory
 

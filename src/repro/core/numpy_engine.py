@@ -76,8 +76,13 @@ class ColumnEngine:
     def for_oram(cls, oram) -> "ColumnEngine | None":
         storage = oram.storage
         # Exact type only: a subclass may intercept bucket/path methods,
-        # which the engine's direct column access would bypass.
-        if type(storage) is not NumpyFlatTreeStorage:
+        # which the engine's direct column access would bypass — unless the
+        # subclass declares itself engine-native (the memory-mapped stack:
+        # its only interception need is the pre-write journaling hook the
+        # engine honours via ``note_path_write``).
+        if type(storage) is not NumpyFlatTreeStorage and not getattr(
+            type(storage), "column_engine_native", False
+        ):
             return None
         if not oram._single_member_groups or not oram._draw_bits:  # noqa: SLF001
             return None
@@ -87,6 +92,9 @@ class ColumnEngine:
         self._oram = oram
         storage: NumpyFlatTreeStorage = oram.storage
         self._storage = storage
+        # Durable storages journal dirty pages before they are mutated; the
+        # engine calls this once per path op, just before its scatters.
+        self._note_path_write = getattr(storage, "note_path_write", None)
         config = oram.config
         self._levels = levels = config.levels
         self._z = z = config.z
@@ -483,6 +491,9 @@ class ColumnEngine:
                 break
 
         # ---- scatter the whole path back (sentinel source = empty) ----
+        note = self._note_path_write
+        if note is not None:
+            note(leaf)
         addresses_col[rows] = addrs[src_buf]
         leaves_col[rows] = lvs[src_buf]
         if gather_payloads:

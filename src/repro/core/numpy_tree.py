@@ -74,6 +74,25 @@ class NumpyFlatTreeStorage(TreeStorage):
         #: engine's classification table maps every empty row to one
         #: dedicated out-of-range class.
         self.empty_leaf = 1 << config.levels
+        self._allocate_columns(num_buckets, num_rows)
+        #: False until any non-None payload lands in the data column.  While
+        #: False the column is provably all-``None`` and the engine skips
+        #: the payload gather/scatter entirely.
+        self.has_payloads = False
+        self._occupancy = 0
+        # Per-leaf cache of the path's bucket indices as an ndarray plus the
+        # flat slot-row base offsets (bucket * Z), for gather/scatter.
+        self._path_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _allocate_columns(self, num_buckets: int, num_rows: int) -> None:
+        """Provision the three numeric columns plus the payload column.
+
+        Subclasses override this to home the numeric columns somewhere
+        other than fresh in-RAM ndarrays (the memory-mapped stack points
+        them at regions of an on-disk file) while keeping every invariant
+        above: int64 dtype, one permanently empty sentinel row, empty rows
+        padded with ``_EMPTY`` / ``empty_leaf``.
+        """
         self._counts = np.zeros(num_buckets, dtype=np.int64)
         # One sentinel row past the end, permanently empty (see module doc).
         self._addresses = np.full(num_rows + 1, _EMPTY, dtype=np.int64)
@@ -83,14 +102,6 @@ class NumpyFlatTreeStorage(TreeStorage):
         # gather/scatter them with the same fancy indices as the numeric
         # columns — but only when a real payload was ever attached.
         self._data = np.full(num_rows + 1, None, dtype=object)
-        #: False until any non-None payload lands in the data column.  While
-        #: False the column is provably all-``None`` and the engine skips
-        #: the payload gather/scatter entirely.
-        self.has_payloads = False
-        self._occupancy = 0
-        # Per-leaf cache of the path's bucket indices as an ndarray plus the
-        # flat slot-row base offsets (bucket * Z), for gather/scatter.
-        self._path_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Checkpoint support

@@ -21,7 +21,7 @@ from __future__ import annotations
 import pickle
 from typing import Any
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ReproError
 
 #: Envelope marker: distinguishes snapshots from arbitrary pickled dicts.
 SNAPSHOT_FORMAT = "repro-oram-snapshot"
@@ -79,6 +79,12 @@ def load_snapshot(envelope: Any, kind: str, expected_type: type) -> Any:
         raise CheckpointError("snapshot envelope carries no state bytes")
     try:
         obj = pickle.loads(state)
+    except ReproError:
+        # Typed verdicts from restore hooks (e.g. a DurabilityError from a
+        # durable storage whose on-disk history cannot reproduce the
+        # referenced generation) carry more information than a generic
+        # deserialisation failure — let them surface as themselves.
+        raise
     except Exception as exc:  # noqa: BLE001 - surface as a checkpoint problem
         raise CheckpointError(f"snapshot state failed to deserialise: {exc}") from exc
     if not isinstance(obj, expected_type):

@@ -31,6 +31,22 @@ class CheckpointError(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """A durable storage file is unusable at its last committed state.
+
+    Raised by the memory-mapped storage stack
+    (:mod:`repro.core.memmap_tree`) when ``open()`` cannot produce the
+    last committed generation: no intact generation header survives, a
+    page checksum still mismatches after journal rollback, the file was
+    truncated below its described layout, the sidecar payload store is
+    unrecoverable, or the on-disk generation moved against a durable
+    reference (external rollback / divergent history).  Deliberately
+    distinct from :class:`CheckpointError`: a durability failure is a
+    *deterministic* storage-state problem the retry policy must never
+    re-execute its way around.
+    """
+
+
 class EncryptionError(ReproError):
     """A bucket could not be encrypted or decrypted (wrong key or size)."""
 

@@ -18,6 +18,15 @@ Two kinds of fault live here:
   at chosen points and assert that retry and checkpoint/resume recover
   bit-identically.
 
+* **Commit-protocol faults** — :class:`CrashInjector` hooks the durable
+  memory-mapped storage's commit protocol
+  (:mod:`repro.core.memmap_tree`) and simulates a crash at one named
+  protocol point: everything the protocol has *fsynced* survives,
+  everything still in flight is seeded-randomly kept, lost, or torn at a
+  page/byte granularity, and :class:`SimulatedCrash` is raised in place
+  of ``os._exit`` so a test can reopen the file in-process and assert
+  recovery-or-typed-error.
+
 Determinism: the injector draws every victim choice from its own
 ``random.Random`` and schedules faults by *operation index* (counted path
 reads / path write-backs), so a given ``(seed, schedule)`` corrupts the
@@ -32,7 +41,14 @@ from dataclasses import dataclass
 
 from repro.core.tree import EncryptedTreeStorage, TreeStorage
 
-__all__ = ["FAULT_KINDS", "InjectedFault", "FaultInjector", "chaos_kill_point"]
+__all__ = [
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultInjector",
+    "SimulatedCrash",
+    "CrashInjector",
+    "chaos_kill_point",
+]
 
 #: Storage fault kinds the injector knows how to produce.
 FAULT_KINDS = ("bit_flip", "stale_replay", "drop_write")
@@ -129,9 +145,7 @@ class FaultInjector(TreeStorage):
                 write_faults.add(op)
             else:
                 read_faults[op] = kind
-        return cls(
-            storage, read_faults=read_faults, write_faults=write_faults, seed=seed
-        )
+        return cls(storage, read_faults=read_faults, write_faults=write_faults, seed=seed)
 
     @property
     def storage(self) -> EncryptedTreeStorage:
@@ -191,9 +205,7 @@ class FaultInjector(TreeStorage):
             bucket, old = self._pending_revert
             self._pending_revert = None
             self._storage._buckets[bucket] = old
-            self.injected.append(
-                InjectedFault(op=op, kind="drop_write", bucket=bucket)
-            )
+            self.injected.append(InjectedFault(op=op, kind="drop_write", bucket=bucket))
         kind = self._read_faults.pop(op, None)
         if kind is not None and not self._inject_on_read(op, kind, path):
             # No eligible victim yet (cold tree): retry on the next read.
@@ -233,6 +245,111 @@ class FaultInjector(TreeStorage):
     def _buckets(self) -> list[bytes | None]:
         # Adversarial test hooks poke the raw ciphertext list directly.
         return self._storage._buckets
+
+
+class SimulatedCrash(Exception):
+    """Raised by :class:`CrashInjector` in place of actually dying.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a crash is not
+    an error the protocol reports, it is the absence of the process.  After
+    catching it the in-memory ORAM must be treated as gone (abandon the
+    storage and reopen the file) — its Python-side state is mid-operation.
+    """
+
+
+class CrashInjector:
+    """Simulate a crash at one named commit-protocol point, with scars.
+
+    Installed on a :class:`~repro.core.memmap_tree.MemmapTreeStorage` via
+    its crash hook; when ``crash_point`` fires (for the ``occurrence``-th
+    time), the injector first *scars* the file the way a real crash at
+    that instant could — then raises :class:`SimulatedCrash`:
+
+    * every data page dirtied since the last commit whose content has not
+      been fsynced is seeded-randomly kept (the kernel's write-back had
+      already flushed it), reverted to its pre-image (the write never left
+      the page cache) or **torn** at an arbitrary byte;
+    * the journal's unsynced tail is truncated at a seeded byte offset —
+      possibly mid-record, exactly the torn tail the recovery parser must
+      stop at;
+    * a header-slot write that has not reached its fsync is kept, reverted
+      or torn the same way.
+
+    Everything the protocol already fsynced is left untouched — that is
+    the durability contract under test.  The same ``(crash_point, seed)``
+    always produces the same scars.
+    """
+
+    def __init__(
+        self,
+        storage,
+        crash_point: str,
+        seed: int,
+        *,
+        occurrence: int = 1,
+    ) -> None:
+        from repro.core.memmap_tree import CRASH_POINTS
+
+        if crash_point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {crash_point!r}; one of {CRASH_POINTS}")
+        if occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        self._storage = storage
+        self._crash_point = crash_point
+        self._rng = random.Random(seed)
+        self._occurrence = occurrence
+        self._seen = 0
+        #: Whether the crash point was reached and the crash simulated.
+        self.fired = False
+        storage.set_crash_hook(self._hook)
+
+    def _hook(self, tag: str) -> None:
+        if self.fired or tag != self._crash_point:
+            return
+        self._seen += 1
+        if self._seen < self._occurrence:
+            return
+        self.fired = True
+        self._scar()
+        raise SimulatedCrash(self._crash_point)
+
+    def _scar(self) -> None:
+        storage = self._storage
+        rng = self._rng
+        fd = storage._fd
+        page_size = storage._page_size
+        if not storage._data_synced:
+            for page, pre_image in sorted(storage._epoch_pages.items()):
+                fate = rng.randrange(3)
+                if fate == 0:
+                    continue  # the kernel's write-back already flushed it
+                offset = page * page_size
+                if fate == 1:
+                    # The write never left the page cache.
+                    os.pwrite(fd, pre_image, offset)
+                else:
+                    current = os.pread(fd, page_size, offset)
+                    cut = rng.randrange(1, page_size)
+                    os.pwrite(fd, current[:cut] + pre_image[cut:], offset)
+        tail = storage._journal_len - storage._journal_synced_len
+        if tail > 0:
+            cut = storage._journal_synced_len + rng.randrange(tail + 1)
+            journal_fd = os.open(storage._journal_path, os.O_RDWR)
+            try:
+                os.ftruncate(journal_fd, cut)
+            finally:
+                os.close(journal_fd)
+        pending = storage._header_pending
+        if pending is not None:
+            slot_off, old_slot = pending
+            fate = rng.randrange(3)
+            if fate == 1:
+                os.pwrite(fd, old_slot, slot_off)
+            elif fate == 2:
+                current = os.pread(fd, len(old_slot), slot_off)
+                cut = rng.randrange(1, len(old_slot))
+                os.pwrite(fd, current[:cut] + old_slot[cut:], slot_off)
+        os.fsync(fd)
 
 
 def chaos_kill_point(marker_dir: str, name: str = "kill") -> bool:

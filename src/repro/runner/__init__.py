@@ -23,6 +23,7 @@ Typical use::
 from repro.runner.checkpoint import CheckpointManager
 from repro.runner.fleet import FleetPlan, register_fleet_adapter, run_fleet
 from repro.runner.runner import (
+    DETERMINISTIC_ERROR_TYPES,
     TRANSIENT_ERROR_TYPES,
     ExperimentRunner,
     ProgressCallback,
@@ -34,6 +35,7 @@ from repro.runner.windows import WindowPlan, merge_counters, run_windows, window
 
 __all__ = [
     "CheckpointManager",
+    "DETERMINISTIC_ERROR_TYPES",
     "ExperimentRunner",
     "ExperimentSpec",
     "ExperimentResult",

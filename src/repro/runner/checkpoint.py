@@ -54,18 +54,42 @@ class CheckpointManager:
         The runner additionally calls :meth:`save` at the end of the run,
         so a cadence larger than 1 only bounds how much work a crash can
         lose, never whether the final state lands on disk.
+    keep_generations:
+        When set (``N >= 1``), every save also hard-links the new file to
+        ``<path>.genNNNNNNNN`` and prunes generation files older than the
+        newest ``N`` — a bounded history instead of the default
+        latest-only file.  If the main file is missing or corrupt on
+        construction, loading falls back to the newest intact generation
+        file, so one torn save costs at most ``every`` results, not the
+        whole history.  Rollback detection is unchanged: the main file's
+        generation still must never move backwards.
     """
 
-    def __init__(self, path: str | os.PathLike, every: int = 1) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        every: int = 1,
+        keep_generations: int | None = None,
+    ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
+        if keep_generations is not None and keep_generations < 1:
+            raise ValueError("keep_generations must be >= 1 (or None)")
         self._path = os.fspath(path)
         self._every = every
+        self._keep = keep_generations
         self._results: dict[str, ExperimentResult] = {}
         self._generation = 0
         self._dirty = 0
         if os.path.exists(self._path):
-            self._load()
+            try:
+                self._load()
+            except CheckpointError:
+                if self._keep is None:
+                    raise
+                self._load_newest_generation()
+        elif self._keep is not None:
+            self._load_newest_generation(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -110,11 +134,15 @@ class CheckpointManager:
             return
         disk_generation = self._peek_generation(self._path)
         if disk_generation is not None and disk_generation > self._generation:
-            raise CheckpointError(
-                f"checkpoint {self._path!r} advanced externally "
-                f"(on disk: generation {disk_generation}, "
-                f"ours: {self._generation}); refusing to roll it back"
-            )
+            # In keep mode a corrupt main file may carry a stale-but-larger
+            # header while we resumed from an older intact generation file;
+            # overwriting garbage is not a rollback.
+            if self._keep is None or self._is_intact(self._path):
+                raise CheckpointError(
+                    f"checkpoint {self._path!r} advanced externally "
+                    f"(on disk: generation {disk_generation}, "
+                    f"ours: {self._generation}); refusing to roll it back"
+                )
         self._generation += 1
         envelope = {
             "format": CHECKPOINT_FORMAT,
@@ -133,7 +161,60 @@ class CheckpointManager:
         finally:
             os.close(fd)
         os.replace(tmp, self._path)
+        if self._keep is not None:
+            self._retain_generation()
         self._dirty = 0
+
+    def _generation_path(self, generation: int) -> str:
+        return f"{self._path}.gen{generation:08d}"
+
+    def _generation_files(self) -> list[tuple[int, str]]:
+        """Existing ``.genNNNNNNNN`` siblings, newest first."""
+        directory = os.path.dirname(self._path) or "."
+        prefix = os.path.basename(self._path) + ".gen"
+        entries: list[tuple[int, str]] = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return entries
+        for name in names:
+            if name.startswith(prefix):
+                suffix = name[len(prefix) :]
+                if suffix.isdigit():
+                    entries.append((int(suffix), os.path.join(directory, name)))
+        entries.sort(reverse=True)
+        return entries
+
+    def _retain_generation(self) -> None:
+        """Link the just-saved file into the bounded generation history."""
+        target = self._generation_path(self._generation)
+        try:
+            os.link(self._path, target)
+        except OSError:
+            # Filesystem without hard links (or the file already exists):
+            # fall back to a byte copy of the freshly written checkpoint.
+            with open(self._path, "rb") as src, open(target, "wb") as dst:
+                dst.write(src.read())
+        floor = self._generation - self._keep
+        for generation, path in self._generation_files():
+            if generation <= floor:
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    def _load_newest_generation(self, missing_ok: bool = False) -> None:
+        """Fall back to the newest intact generation file (keep mode)."""
+        for _generation, path in self._generation_files():
+            try:
+                self._load(path)
+                return
+            except CheckpointError:
+                continue
+        if not missing_ok:
+            raise CheckpointError(
+                f"checkpoint {self._path!r} is unreadable and no intact " "generation file remains"
+            )
 
     def flush(self) -> None:
         """Alias for :meth:`save` (end-of-run hook)."""
@@ -142,6 +223,19 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_intact(path: str) -> bool:
+        """Whether the file parses as a digest-valid checkpoint."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return False
+        if len(blob) < _HEADER_BYTES:
+            return False
+        expected = hashlib.sha256(blob[_DIGEST_BYTES:]).digest()
+        return blob[:_DIGEST_BYTES] == expected
+
     @staticmethod
     def _peek_generation(path: str) -> int | None:
         """Generation number of the file at ``path`` (header only), or
@@ -155,36 +249,33 @@ class CheckpointManager:
             return None
         return int.from_bytes(header[_DIGEST_BYTES:], "big")
 
-    def _load(self) -> None:
-        with open(self._path, "rb") as handle:
-            blob = handle.read()
+    def _load(self, path: str | None = None) -> None:
+        path = self._path if path is None else path
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise CheckpointError(f"checkpoint {path!r} is unreadable: {exc}") from exc
         if len(blob) < _HEADER_BYTES:
-            raise CheckpointError(
-                f"checkpoint {self._path!r} is truncated ({len(blob)} bytes)"
-            )
+            raise CheckpointError(f"checkpoint {path!r} is truncated ({len(blob)} bytes)")
         digest = blob[:_DIGEST_BYTES]
         generation_bytes = blob[_DIGEST_BYTES:_HEADER_BYTES]
         payload = blob[_HEADER_BYTES:]
         if hashlib.sha256(generation_bytes + payload).digest() != digest:
-            raise CheckpointError(
-                f"checkpoint {self._path!r} is corrupt (payload digest mismatch)"
-            )
+            raise CheckpointError(f"checkpoint {path!r} is corrupt (payload digest mismatch)")
         envelope = pickle.loads(payload)
         if envelope.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
-                f"checkpoint {self._path!r} has unknown format "
-                f"{envelope.get('format')!r}"
+                f"checkpoint {path!r} has unknown format " f"{envelope.get('format')!r}"
             )
         if envelope.get("version") > CHECKPOINT_VERSION:
             raise CheckpointError(
-                f"checkpoint {self._path!r} was written by a newer version "
+                f"checkpoint {path!r} was written by a newer version "
                 f"({envelope.get('version')} > {CHECKPOINT_VERSION})"
             )
         generation = int.from_bytes(generation_bytes, "big")
         if envelope.get("generation") != generation:
-            raise CheckpointError(
-                f"checkpoint {self._path!r} header/payload generation mismatch"
-            )
+            raise CheckpointError(f"checkpoint {path!r} header/payload generation mismatch")
         self._generation = generation
         self._results = dict(envelope["results"])
         self._dirty = 0

@@ -54,6 +54,25 @@ TRANSIENT_ERROR_TYPES = frozenset(
     }
 )
 
+#: Error types that are *never* retried even though some of them subclass
+#: the transient set's classes (``DurabilityError`` and ``IntegrityError``
+#: describe deterministic on-disk / in-protocol state: re-executing cannot
+#: change what the file contains, and retrying would re-read a corrupt
+#: tree as if the fault were a disk hiccup).  Checked before the transient
+#: set so the classification cannot be widened by accident.
+DETERMINISTIC_ERROR_TYPES = frozenset(
+    {
+        "AssertionError",
+        "CheckpointError",
+        "ConfigurationError",
+        "DurabilityError",
+        "EncryptionError",
+        "IntegrityError",
+        "StashOverflowError",
+        "TraceFormatError",
+    }
+)
+
 
 class RunnerError(ReproError):
     """Raised by :meth:`ExperimentRunner.run_values` when a point failed."""
@@ -93,8 +112,13 @@ class RetryPolicy:
         Deterministic failures (``StashOverflowError``, configuration
         errors, assertion failures, ...) reproduce bit-identically under
         the point's derived seed, so anything not positively known to be
-        transient is treated as deterministic.
+        transient is treated as deterministic.  Disk hiccups
+        (``OSError``/``IOError``) are transient, but the typed storage
+        verdicts (``DurabilityError``, ``IntegrityError``) are not: they
+        report what the bytes *are*, not a failure to read them.
         """
+        if error_type in DETERMINISTIC_ERROR_TYPES:
+            return False
         return error_type in TRANSIENT_ERROR_TYPES
 
 

@@ -313,9 +313,7 @@ class TestRunnerResume:
 
         path = tmp_path / "windows.ckpt"
         # Interrupt after three windows.
-        partial = WindowPlan(
-            key="win", base_seed=9, window_accesses=plan.window_accesses[:3]
-        )
+        partial = WindowPlan(key="win", base_seed=9, window_accesses=plan.window_accesses[:3])
         run_windows(_window_point, partial, kwargs=kwargs, checkpoint=CheckpointManager(path))
         resumed = run_windows(
             _window_point,
@@ -334,3 +332,104 @@ class TestRunnerResume:
         results = ExperimentRunner().run(_grid_specs([1, 2]), checkpoint=manager)
         assert all(result.ok for result in results)
         assert manager.completed == 2
+
+
+class TestKeepGenerations:
+    def test_bounded_history_is_pruned(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        manager = CheckpointManager(path, keep_generations=2)
+        for index in range(5):
+            manager.record(ExperimentResult(key=index, value=index))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["grid.ckpt", "grid.ckpt.gen00000004", "grid.ckpt.gen00000005"]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path / "grid.ckpt", keep_generations=0)
+
+    def test_corrupt_main_falls_back_to_newest_generation(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        manager = CheckpointManager(path, keep_generations=3)
+        for index in range(4):
+            manager.record(ExperimentResult(key=index, value=index))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        # Replace (not rewrite in place): the newest generation file is a
+        # hard link to the same inode, and a real torn save corrupts the
+        # main name, not the retained history.
+        corrupt = tmp_path / "corrupt.tmp"
+        corrupt.write_bytes(bytes(blob))
+        os.replace(corrupt, path)
+        # Default (latest-only) mode still refuses the corrupt file...
+        with pytest.raises(CheckpointError, match="digest"):
+            CheckpointManager(path)
+        # ...keep mode resumes from the newest intact generation file.
+        recovered = CheckpointManager(path, keep_generations=3)
+        assert recovered.completed == 4
+        assert recovered.generation == 4
+        # And saving over the corrupt main file is not a rollback.
+        recovered.record(ExperimentResult(key=9, value=9))
+        assert CheckpointManager(path).completed == 5
+
+    def test_missing_main_falls_back_to_newest_generation(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        manager = CheckpointManager(path, keep_generations=2)
+        for index in range(3):
+            manager.record(ExperimentResult(key=index, value=index))
+        os.remove(path)
+        recovered = CheckpointManager(path, keep_generations=2)
+        assert recovered.completed == 3
+
+    def test_rollback_detection_still_intact(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        stale = CheckpointManager(path, keep_generations=2)
+        stale.record(ExperimentResult(key=1, value=1))
+        newer = CheckpointManager(path, keep_generations=2)
+        newer.record(ExperimentResult(key=2, value=2))
+        stale._results["extra"] = ExperimentResult(key=3, value=3)
+        stale._dirty = 1
+        with pytest.raises(CheckpointError, match="advanced externally"):
+            stale.save()
+
+
+class TestSnapshotEnvelopeErrors:
+    """Direct coverage of load_snapshot's error paths (not just restore)."""
+
+    def test_non_envelope_inputs(self):
+        from repro.core.snapshot import load_snapshot
+
+        for bad in (None, 42, [1], {"format": "other"}):
+            with pytest.raises(CheckpointError, match="not a snapshot"):
+                load_snapshot(bad, "path-oram", PathORAM)
+
+    def test_version_mismatch_both_directions(self):
+        flat = _flat_oram()
+        snapshot = flat.snapshot()
+        for version in (SNAPSHOT_VERSION + 1, SNAPSHOT_VERSION - 1, None, "x"):
+            with pytest.raises(CheckpointError, match="version"):
+                PathORAM.restore({**snapshot, "version": version})
+
+    def test_missing_and_non_bytes_state(self):
+        flat = _flat_oram()
+        snapshot = flat.snapshot()
+        without_state = {k: v for k, v in snapshot.items() if k != "state"}
+        for bad in (without_state, {**snapshot, "state": "text"}):
+            with pytest.raises(CheckpointError, match="state"):
+                PathORAM.restore(bad)
+
+    def test_corrupt_state_bytes(self):
+        flat = _flat_oram()
+        snapshot = flat.snapshot()
+        with pytest.raises(CheckpointError, match="deserialise"):
+            PathORAM.restore({**snapshot, "state": b"\x80\x05garbage"})
+
+    def test_unexpected_restored_class(self):
+        from repro.core.snapshot import load_snapshot, make_snapshot
+
+        envelope = make_snapshot({"not": "an oram"}, "path-oram")
+        with pytest.raises(CheckpointError, match="expected PathORAM"):
+            load_snapshot(envelope, "path-oram", PathORAM)
+
+    def test_kind_tag_missing(self):
+        with pytest.raises(CheckpointError, match="kind"):
+            snapshot_kind({"format": "repro-oram-snapshot", "version": 1})

@@ -125,9 +125,7 @@ class TestExperimentRunner:
         def broken_pool(*args, **kwargs):
             raise OSError("no semaphores here")
 
-        monkeypatch.setattr(
-            concurrent.futures, "ProcessPoolExecutor", broken_pool
-        )
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", broken_pool)
         specs = _specs([4, 5, 6])
         serial = ExperimentRunner().run_values(specs)
         fallen_back = ExperimentRunner(executor="process", max_workers=2).run_values(specs)
@@ -292,3 +290,64 @@ class TestDerivedSeedTraceGeneration:
         serial = ExperimentRunner(executor="serial").run_values(specs)
         parallel = ExperimentRunner(executor="process", max_workers=2).run_values(specs)
         assert serial == parallel
+
+
+class TestErrorClassification:
+    """Transient vs deterministic error-type routing in RetryPolicy."""
+
+    def test_disk_hiccups_are_transient(self):
+        from repro.runner import RetryPolicy
+
+        policy = RetryPolicy()
+        for error_type in ("OSError", "IOError", "BrokenPipeError", "TimeoutError"):
+            assert policy.is_transient(error_type), error_type
+
+    def test_typed_storage_verdicts_never_retried(self):
+        from repro.runner import DETERMINISTIC_ERROR_TYPES, RetryPolicy
+
+        policy = RetryPolicy()
+        for error_type in DETERMINISTIC_ERROR_TYPES:
+            assert not policy.is_transient(error_type), error_type
+        # The two headline verdicts, spelled out: a DurabilityError or
+        # IntegrityError reports what the stored bytes *are*; re-reading
+        # them cannot change the answer.
+        assert not policy.is_transient("DurabilityError")
+        assert not policy.is_transient("IntegrityError")
+
+    def test_unknown_errors_default_to_deterministic(self):
+        from repro.runner import RetryPolicy
+
+        policy = RetryPolicy()
+        assert not policy.is_transient("ValueError")
+        assert not policy.is_transient(None)
+
+    def test_deterministic_failure_is_not_reexecuted(self):
+        from repro.errors import DurabilityError
+        from repro.runner import RetryPolicy
+
+        calls = []
+
+        def fn(value, seed=0):
+            calls.append(value)
+            raise DurabilityError("file is torn")
+
+        specs = [ExperimentSpec(key="x", fn=fn, kwargs={"value": 1})]
+        results = ExperimentRunner(retry=RetryPolicy(max_attempts=3)).run(specs)
+        assert results[0].error_type == "DurabilityError"
+        assert calls == [1]  # exactly one execution: no retry budget spent
+
+    def test_transient_failure_is_retried(self):
+        from repro.runner import RetryPolicy
+
+        calls = []
+
+        def fn(value, seed=0):
+            calls.append(value)
+            if len(calls) < 2:
+                raise OSError("disk hiccup")
+            return value
+
+        specs = [ExperimentSpec(key="x", fn=fn, kwargs={"value": 1})]
+        results = ExperimentRunner(retry=RetryPolicy(max_attempts=3)).run(specs)
+        assert results[0].ok and results[0].value == 1
+        assert calls == [1, 1]
