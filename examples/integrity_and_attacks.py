@@ -14,17 +14,15 @@ Run with:  python examples/integrity_and_attacks.py
 
 import random
 
+from repro import IntegrityError, ORAMConfig, OramSpec, open_oram
 from repro.attacks.cpl import expected_common_path_length, run_cpl_experiment
-from repro.backends import OramSpec, build_oram
-from repro.core.config import ORAMConfig
-from repro.errors import IntegrityError
 from repro.integrity.merkle import MerkleTree
 
 
 def demo_integrity() -> None:
     print("--- Integrity verification (Section 5) ---")
     config = ORAMConfig(working_set_blocks=128, z=2, block_bytes=32, stash_capacity=80)
-    oram = build_oram(
+    oram = open_oram(
         OramSpec(protocol="flat", storage="integrity", key_seed=7),
         config,
         rng=random.Random(1),

@@ -10,8 +10,7 @@ Run with:  python examples/quickstart.py
 
 import random
 
-from repro.backends import OramSpec, build_oram
-from repro.core.config import HierarchyConfig, ORAMConfig
+from repro import HierarchyConfig, ORAMConfig, OramSpec, open_oram
 
 
 def main() -> None:
@@ -34,11 +33,11 @@ def main() -> None:
     print(hierarchy.describe())
     print()
 
-    # 2. Build the ORAM through the backend registry: the "integrity"
+    # 2. Build the ORAM through the public facade: the "integrity"
     #    storage stack is counter-mode encryption plus the mirrored
     #    authentication tree, and the "hierarchical" protocol walks the
     #    recursive position-map chain.
-    oram = build_oram(
+    oram = open_oram(
         OramSpec(
             protocol="hierarchical",
             storage="integrity",

@@ -1,6 +1,12 @@
 """Reproduction of Path ORAM design space exploration (Ren et al., ISCA 2013).
 
-The package is organised into subpackages, one per subsystem:
+The top-level package re-exports the **stable public API facade**
+(:mod:`repro.api`): configuration types, :func:`open_oram` construction,
+the experiment runner, the serving layer and the typed error hierarchy —
+see ``repro.api`` for the curated surface and the README's public-API
+reference table.  Application code should import from here (or from
+``repro.api``); the subpackages below are implementation layers that stay
+free to refactor:
 
 ``repro.core``
     Path ORAM itself: configuration, the tree, the stash, the position map,
@@ -41,23 +47,16 @@ The package is organised into subpackages, one per subsystem:
 ``repro.backends``
     The backend/scenario registry: named storage stacks and protocol
     variants every driver builds its ORAMs through.
+
+``repro.serve``
+    ORAM-as-a-service: the async multi-tenant serving layer with the
+    deterministic batch scheduler and the closed-loop load generator.
 """
 
-from repro.backends import OramSpec, build_oram
-from repro.core.config import HierarchyConfig, ORAMConfig
-from repro.core.hierarchical import HierarchicalPathORAM
-from repro.core.interface import ORAMMemoryInterface
-from repro.core.path_oram import PathORAM
+from repro.api import *  # noqa: F403 - the facade is the public surface
+from repro.api import __all__ as _api_all
+from repro.backends import build_interface, build_oram  # legacy aliases
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = [
-    "ORAMConfig",
-    "HierarchyConfig",
-    "OramSpec",
-    "PathORAM",
-    "HierarchicalPathORAM",
-    "ORAMMemoryInterface",
-    "build_oram",
-    "__version__",
-]
+__all__ = list(_api_all) + ["build_oram", "build_interface", "__version__"]

@@ -1,0 +1,179 @@
+"""The stable public API facade.
+
+Everything an application needs to build, drive, serve and persist ORAMs
+is re-exported here under one flat namespace, so user code (and the
+examples, and the README snippets) never has to reach into ``repro.core``
+or other implementation packages — those remain free to refactor.  The
+facade is also what ``import repro`` exposes: ``repro.open_oram`` is
+``repro.api.open_oram``.
+
+The surface, by concern:
+
+* **Configuration** — :class:`ORAMConfig`, :class:`HierarchyConfig`,
+  :class:`OramSpec` (the picklable scenario descriptor every driver
+  builds through), :data:`Operation`.
+* **Construction** — :func:`open_oram` (spec + config → ORAM),
+  :func:`open_interface` (the exclusive-ORAM processor front-end),
+  :func:`restore_oram` (snapshot envelope → ORAM),
+  :func:`storage_backends` (registered storage-stack names).
+* **Protocols** — :class:`PathORAM`, :class:`HierarchicalPathORAM` (the
+  concrete types :func:`open_oram` returns; useful for isinstance checks
+  and type hints).
+* **Experiments** — :class:`ExperimentRunner`, :class:`ExperimentSpec`,
+  :class:`WindowPlan`, :func:`run_windows`, :class:`CheckpointManager`,
+  :class:`RetryPolicy`, :func:`derive_seed`.
+* **Serving** — :class:`OramService`, :class:`ServiceConfig`,
+  :class:`Request`, :class:`ServeResult`, :func:`run_script`,
+  :func:`serial_script`, :func:`synthetic_script`, :func:`run_load`,
+  :class:`LoadGenConfig`, :class:`LoadReport`.
+* **Errors** — :class:`ReproError` and its typed subclasses; every
+  exception the package raises derives from :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.backends import (
+    Backend,
+    OramSpec,
+    build_interface,
+    build_oram,
+    restore_oram,
+    storage_backends,
+)
+from repro.core.config import HierarchyConfig, ORAMConfig
+from repro.core.hierarchical import HierarchicalPathORAM
+from repro.core.interface import ORAMMemoryInterface
+from repro.core.path_oram import PathORAM
+from repro.core.types import AccessResult, Operation, TraceResult
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DurabilityError,
+    EncryptionError,
+    IntegrityError,
+    ReproError,
+    StashOverflowError,
+    TraceFormatError,
+)
+from repro.runner import (
+    CheckpointManager,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    RetryPolicy,
+    WindowPlan,
+    derive_seed,
+    run_windows,
+)
+from repro.serve import (
+    LoadGenConfig,
+    LoadReport,
+    OramService,
+    Request,
+    ScriptOutcome,
+    ServeResult,
+    ServiceConfig,
+    run_load,
+    run_script,
+    serial_script,
+    synthetic_script,
+)
+
+
+def open_oram(
+    spec: OramSpec,
+    config: ORAMConfig | HierarchyConfig,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Backend:
+    """Build the ORAM a spec describes over ``config``.
+
+    The stable entry point in front of the backend registry: pass an
+    :class:`OramSpec` naming the protocol/storage/eviction scenario and an
+    :class:`ORAMConfig` (flat protocol) or :class:`HierarchyConfig`
+    (hierarchical), plus either a ``seed`` (the common reproducible case)
+    or an explicit ``rng``.  Returns a :class:`PathORAM` or
+    :class:`HierarchicalPathORAM`.
+    """
+    return build_oram(spec, config, seed=seed, rng=rng)
+
+
+def open_interface(
+    spec: OramSpec,
+    config: ORAMConfig | HierarchyConfig,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> ORAMMemoryInterface:
+    """Build the exclusive-ORAM front-end a secure processor talks to."""
+    return build_interface(spec, config, seed=seed, rng=rng)
+
+
+def open_service(
+    config: ServiceConfig | None = None,
+    instances: dict[str, tuple[OramSpec, Any, int]] | None = None,
+) -> OramService:
+    """Create an :class:`OramService`, optionally pre-registering instances.
+
+    ``instances`` maps names to ``(spec, oram_config, seed)`` triples, the
+    same shape :func:`run_script` and :func:`run_load` take.  The returned
+    service still needs to be started (``async with service:``) before
+    requests are submitted.
+    """
+    service = OramService(config)
+    for name, (spec, oram_config, seed) in (instances or {}).items():
+        service.open_instance(name, spec, oram_config, seed=seed)
+    return service
+
+
+__all__ = [
+    # Configuration
+    "ORAMConfig",
+    "HierarchyConfig",
+    "OramSpec",
+    "Operation",
+    # Construction
+    "open_oram",
+    "open_interface",
+    "open_service",
+    "restore_oram",
+    "storage_backends",
+    # Protocols and results
+    "PathORAM",
+    "HierarchicalPathORAM",
+    "ORAMMemoryInterface",
+    "AccessResult",
+    "TraceResult",
+    # Experiments
+    "CheckpointManager",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "RetryPolicy",
+    "WindowPlan",
+    "derive_seed",
+    "run_windows",
+    # Serving
+    "LoadGenConfig",
+    "LoadReport",
+    "OramService",
+    "Request",
+    "ScriptOutcome",
+    "ServeResult",
+    "ServiceConfig",
+    "run_load",
+    "run_script",
+    "serial_script",
+    "synthetic_script",
+    # Errors
+    "ReproError",
+    "ConfigurationError",
+    "StashOverflowError",
+    "IntegrityError",
+    "CheckpointError",
+    "DurabilityError",
+    "EncryptionError",
+    "TraceFormatError",
+]

@@ -29,6 +29,7 @@ import itertools
 import os
 import random
 import tempfile
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Union
 
@@ -109,14 +110,16 @@ class OramSpec:
     create_on_miss / record_path_trace / livelock_limit:
         Forwarded to the protocol object.
     coalesce_position_ops:
-        Hierarchical protocol only: let ``access_many`` serve consecutive
-        accesses resolving through the same position-map block from one
-        fused path op (see
+        **Deprecated** — use ``plb_entries_per_level=1``, which reproduces
+        coalescing bit for bit (pinned in ``tests/test_plb.py`` and
+        ``tests/test_api.py``); setting this flag emits a
+        ``DeprecationWarning``.  Hierarchical protocol only: let
+        ``access_many`` serve consecutive accesses resolving through the
+        same position-map block from one fused path op (see
         :class:`~repro.core.hierarchical.HierarchicalPathORAM`).  A pure
         throughput lever for trace replays — logical results are
         unchanged, the physical op sequence is not, so analyses of the
-        physical access pattern should leave it off.  Sugar for a
-        capacity-1 ``plb_entries_per_level`` since the PLB landed.
+        physical access pattern should leave it off.
     plb_entries_per_level:
         Hierarchical protocol only: capacity (position-map blocks per
         chain level) of the PosMap Lookaside Buffer, the Freecursive-style
@@ -220,6 +223,14 @@ class OramSpec:
                 "flat protocol has no position-map chain (use "
                 "protocol='hierarchical')"
             )
+        if self.coalesce_position_ops:
+            warnings.warn(
+                "OramSpec(coalesce_position_ops=True) is deprecated; use "
+                "plb_entries_per_level=1 — the capacity-1 PosMap Lookaside "
+                "Buffer reproduces coalescing bit for bit",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.plb_entries_per_level < 0:
             raise ConfigurationError("plb_entries_per_level must be >= 0")
         if self.protocol == "flat" and self.plb_entries_per_level:
@@ -246,6 +257,14 @@ class OramSpec:
             )
         if self.memmap_history < 1:
             raise ConfigurationError("memmap_history must be >= 1")
+        if self.storage != "memmap-flat" and (
+            self.memmap_sync != "strict" or self.memmap_history != 4
+        ):
+            raise ConfigurationError(
+                "memmap_sync/memmap_history tune the durable commit "
+                "protocol; they are only meaningful for the 'memmap-flat' "
+                f"stack (storage={self.storage!r})"
+            )
         if self.dynamic_super_blocks:
             if self.eviction == "insecure":
                 raise ConfigurationError(

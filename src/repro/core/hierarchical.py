@@ -24,6 +24,7 @@ rounds are indistinguishable from real accesses.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Callable
 
 from repro.core.background_eviction import NoEviction
@@ -74,6 +75,9 @@ class HierarchicalPathORAM:
     livelock_limit:
         Safety cap on dummy rounds per eviction trigger.
     coalesce_position_ops:
+        **Deprecated** — pass ``plb_entries_per_level=1`` instead, which
+        reproduces coalescing bit for bit; setting this flag emits a
+        ``DeprecationWarning``.
         When True, chain accesses that resolve through the most recently
         operated position-map block at a level are served from that block
         directly instead of issuing one path op per level per access.
@@ -116,6 +120,14 @@ class HierarchicalPathORAM:
     ) -> None:
         if plb_entries_per_level < 0:
             raise ConfigurationError("plb_entries_per_level must be >= 0")
+        if coalesce_position_ops:
+            warnings.warn(
+                "coalesce_position_ops is deprecated; use "
+                "plb_entries_per_level=1 — the capacity-1 PosMap Lookaside "
+                "Buffer reproduces coalescing bit for bit",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._hierarchy = hierarchy
         self._rng = rng if rng is not None else random.Random()
         self._configs = hierarchy.oram_configs

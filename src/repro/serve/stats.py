@@ -1,0 +1,134 @@
+"""Per-tenant and service-level accounting for the serving layer.
+
+The engine's own counters stay where they always were — every ORAM keeps
+an :class:`~repro.core.stats.AccessStats` reachable through the uniform
+``stats`` property, and the service exposes those unchanged per instance.
+This module adds the *request-plane* view on top: how many requests each
+tenant submitted, how they were executed (individually or inside a fused
+``access_many`` run), how often the fair-share quota throttled a tenant,
+and the user-facing latency samples the load generator summarises into
+p50/p99.
+
+Determinism note: every integer counter here is a pure function of the
+admission schedule, so replaying a recorded script yields bit-identical
+counter fingerprints (:meth:`TenantStats.fingerprint`) in the async
+service and the synchronous reference.  Latency fields are wall-clock
+measurements and deliberately excluded from fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class TenantStats:
+    """Request-plane counters for one tenant.
+
+    Attributes
+    ----------
+    requests / reads / writes:
+        Completed requests, split by operation.
+    fused:
+        Requests served inside a fused ``access_many`` micro-batch run
+        (the remainder executed as individual ``access`` calls).
+    found:
+        Hits among the *individually* executed requests (fused runs do not
+        materialise per-request results; their hits are visible in the
+        instance's own ``stats.blocks_read`` counters).
+    batches:
+        Admission batches this tenant had at least one request in.
+    throttled:
+        Admission rounds in which the fair-share quota deferred at least
+        one pending request of this tenant to a later round.
+    latency_total / latency_samples:
+        Wall-clock submit-to-completion seconds (live serving only; the
+        synchronous reference records none).  Excluded from fingerprints.
+    """
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    fused: int = 0
+    found: int = 0
+    batches: int = 0
+    throttled: int = 0
+    latency_total: float = 0.0
+    latency_samples: list = field(default_factory=list)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latency_total += seconds
+        self.latency_samples.append(seconds)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latency_samples:
+            return 0.0
+        return self.latency_total / len(self.latency_samples)
+
+    def fingerprint(self) -> tuple:
+        """Deterministic tuple of the schedule-derived counters.
+
+        Covers exactly the fields that are invariant to the *execution
+        strategy*: latency fields are wall-clock measurements, and
+        ``fused``/``found`` depend on whether reads were coalesced (the
+        serial reference executes everything individually) — all three are
+        excluded.  What remains must replay bit-identically from a
+        recorded script whether the batches were fused or not.
+        """
+        return (
+            self.requests,
+            self.reads,
+            self.writes,
+            self.batches,
+            self.throttled,
+        )
+
+
+class ServiceStats:
+    """Service-wide accounting: per-tenant stats plus scheduler counters."""
+
+    def __init__(self) -> None:
+        self.tenants: dict[str, TenantStats] = {}
+        #: Scheduling rounds executed (one round admits at most one batch
+        #: per instance).
+        self.rounds: int = 0
+        #: Micro-batches executed (one per instance with pending work per
+        #: round).
+        self.batches: int = 0
+        #: Fused ``access_many`` runs across all batches.
+        self.fused_runs: int = 0
+
+    def tenant(self, name: str) -> TenantStats:
+        """The (created-on-first-use) stats of one tenant."""
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = self.tenants[name] = TenantStats()
+        return stats
+
+    @property
+    def total_requests(self) -> int:
+        return sum(stats.requests for stats in self.tenants.values())
+
+    def latencies(self) -> list[float]:
+        """All recorded latency samples, unsorted."""
+        samples: list[float] = []
+        for stats in self.tenants.values():
+            samples.extend(stats.latency_samples)
+        return samples
+
+    def fingerprint(self) -> tuple:
+        """Deterministic tuple over scheduler counters and every tenant.
+
+        ``fused_runs`` is an execution-strategy detail (zero in the serial
+        reference) and excluded, like :meth:`TenantStats.fingerprint`'s
+        fused/found fields.
+        """
+        return (
+            self.rounds,
+            self.batches,
+            tuple(
+                (name, self.tenants[name].fingerprint())
+                for name in sorted(self.tenants)
+            ),
+        )
